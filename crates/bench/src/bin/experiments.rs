@@ -1,0 +1,259 @@
+//! Regenerates every table and figure of the RT-DVS paper.
+//!
+//! ```text
+//! experiments [all|table1|table4|traces|fig9|fig10|fig11|fig12|fig13|fig16|fig17|ablations]
+//!             [--quick] [--out DIR]
+//! ```
+//!
+//! `--quick` runs reduced sample counts; `--out DIR` additionally writes
+//! CSV files (default: print to stdout only).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtdvs_bench::{
+    ablation_rm_test, ablation_switch_overhead, example_traces, extension_tradeoff, fig10, fig11,
+    fig12, fig13, fig16, fig17, fig9, render_normalized_chart, table1, table4, Scale,
+};
+
+struct Args {
+    what: Vec<String>,
+    scale: Scale,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut what = Vec::new();
+    let mut scale = Scale::full();
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--out" => {
+                let dir = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [TARGET...] [--quick] [--out DIR]".to_owned())
+            }
+            other if !other.starts_with('-') => what.push(other.to_owned()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_owned());
+    }
+    Ok(Args { what, scale, out })
+}
+
+fn write_out(out: &Option<PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = out {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, content) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("  wrote {}", path.display());
+        }
+    }
+}
+
+fn run_table1(out: &Option<PathBuf>) {
+    println!("== Table 1: HP N3350 subsystem power ==");
+    let mut csv = String::from("screen,disk,cpu,watts\n");
+    for (screen, disk, cpu, watts) in table1() {
+        println!("  screen {screen:<4} disk {disk:<9} cpu {cpu:<9} -> {watts:5.1} W");
+        csv.push_str(&format!("{screen},{disk},{cpu},{watts:.1}\n"));
+    }
+    write_out(out, "table1.csv", &csv);
+}
+
+fn run_table4(out: &Option<PathBuf>) {
+    println!("== Table 4: normalized energy on the worked example ==");
+    let mut csv = String::from("policy,normalized_energy,paper\n");
+    let paper = rtdvs_core::example::table4_expected();
+    for ((name, got), (_, want)) in table4().into_iter().zip(paper) {
+        println!("  {name:<10} {got:5.3}   (paper: {want:4.2})");
+        csv.push_str(&format!("{name},{got:.4},{want}\n"));
+    }
+    write_out(out, "table4.csv", &csv);
+}
+
+fn run_traces(out: &Option<PathBuf>) {
+    println!("== Worked-example traces (Figs. 2, 3, 5, 7) ==");
+    for (label, policy, chart) in example_traces() {
+        println!("-- {label} ({policy}) --\n{chart}");
+        write_out(out, &format!("{label}.txt"), &chart);
+    }
+}
+
+fn run_fig9(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 9: energy vs utilization, 5/10/15 tasks ==");
+    for (n, sweep) in fig9(scale) {
+        println!("-- {n} tasks (normalized energies) --");
+        println!("{}", sweep.render_normalized());
+        println!("{}", render_normalized_chart(&sweep));
+        write_out(out, &format!("fig9_{n}tasks.csv"), &sweep.to_csv());
+    }
+}
+
+fn run_fig10(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 10: idle level 0.01 / 0.1 / 1.0 (8 tasks) ==");
+    for (idle, sweep) in fig10(scale) {
+        println!("-- idle level {idle} --");
+        println!("{}", sweep.render_normalized());
+        println!("{}", render_normalized_chart(&sweep));
+        write_out(
+            out,
+            &format!("fig10_idle{idle}.csv"),
+            &sweep.to_normalized_csv(),
+        );
+    }
+}
+
+fn run_fig11(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 11: machines 0 / 1 / 2 (8 tasks) ==");
+    for (i, (machine, sweep)) in fig11(scale).into_iter().enumerate() {
+        println!("-- {machine} --");
+        println!("{}", sweep.render_normalized());
+        println!("{}", render_normalized_chart(&sweep));
+        write_out(
+            out,
+            &format!("fig11_machine{i}.csv"),
+            &sweep.to_normalized_csv(),
+        );
+    }
+}
+
+fn run_fig12(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 12: c = 0.9 / 0.7 / 0.5 (8 tasks) ==");
+    for (c, sweep) in fig12(scale) {
+        println!("-- c = {c} --");
+        println!("{}", sweep.render_normalized());
+        println!("{}", render_normalized_chart(&sweep));
+        write_out(out, &format!("fig12_c{c}.csv"), &sweep.to_normalized_csv());
+    }
+}
+
+fn run_fig13(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 13: uniform computation in [0, WCET] (8 tasks) ==");
+    let sweep = fig13(scale);
+    println!("{}", sweep.render_normalized());
+    println!("{}", render_normalized_chart(&sweep));
+    write_out(out, "fig13_uniform.csv", &sweep.to_normalized_csv());
+}
+
+fn run_fig16(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 16: whole-system power on the prototype (watts) ==");
+    let (names, rows) = fig16(scale);
+    let mut csv = format!("utilization,{}\n", names.join(","));
+    print!("  util");
+    for n in &names {
+        print!(" {n:>9}");
+    }
+    println!();
+    for (u, watts) in rows {
+        print!("  {u:4.2}");
+        csv.push_str(&format!("{u:.3}"));
+        for w in watts {
+            print!(" {w:8.2}W");
+            csv.push_str(&format!(",{w:.3}"));
+        }
+        println!();
+        csv.push('\n');
+    }
+    write_out(out, "fig16_watts.csv", &csv);
+}
+
+fn run_fig17(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Fig. 17: simulated CPU power on the prototype machine ==");
+    let sweep = fig17(scale);
+    println!("{}", sweep.render_normalized());
+    write_out(out, "fig17_power.csv", &sweep.to_csv());
+}
+
+fn run_ablations(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Ablation: RM schedulability test (normalized energy) ==");
+    let mut csv = String::from("utilization,staticRM_exact,staticRM_LL,ccRM_exact,ccRM_LL\n");
+    println!("  util  sRM-exact    sRM-LL ccRM-exact    ccRM-LL");
+    for (u, [se, sl, ce, cl]) in ablation_rm_test(scale) {
+        println!("  {u:4.2} {se:10.3} {sl:9.3} {ce:10.3} {cl:10.3}");
+        csv.push_str(&format!("{u:.3},{se:.4},{sl:.4},{ce:.4},{cl:.4}\n"));
+    }
+    write_out(out, "ablation_rm_test.csv", &csv);
+
+    println!("== Ablation: voltage-switch overhead (laEDF, U=0.7, c=0.9) ==");
+    let mut csv = String::from("overhead,normalized_energy,misses\n");
+    for (label, energy, misses) in ablation_switch_overhead(scale) {
+        println!("  {label:<18} energy {energy:5.3}  misses {misses}");
+        csv.push_str(&format!("{label},{energy:.4},{misses}\n"));
+    }
+    write_out(out, "ablation_switch_overhead.csv", &csv);
+}
+
+fn run_extensions(scale: Scale, out: &Option<PathBuf>) {
+    println!("== Extension: statistical RT-DVS energy vs miss-rate tradeoff ==");
+    println!("  (8 tasks, U = 0.85, uniform execution; misses per 1000 releases)");
+    let mut csv = String::from("policy,normalized_energy,misses_per_1000\n");
+    for row in extension_tradeoff(scale) {
+        println!(
+            "  {:<16} energy {:5.3}   miss rate {:7.3}",
+            row.label, row.energy, row.miss_rate
+        );
+        csv.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            row.label, row.energy, row.miss_rate
+        ));
+    }
+    write_out(out, "extension_tradeoff.csv", &csv);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for what in &args.what {
+        match what.as_str() {
+            "all" => {
+                run_table1(&args.out);
+                run_table4(&args.out);
+                run_traces(&args.out);
+                run_fig9(args.scale, &args.out);
+                run_fig10(args.scale, &args.out);
+                run_fig11(args.scale, &args.out);
+                run_fig12(args.scale, &args.out);
+                run_fig13(args.scale, &args.out);
+                run_fig16(args.scale, &args.out);
+                run_fig17(args.scale, &args.out);
+                run_ablations(args.scale, &args.out);
+                run_extensions(args.scale, &args.out);
+            }
+            "table1" => run_table1(&args.out),
+            "table4" => run_table4(&args.out),
+            "traces" | "fig2" | "fig3" | "fig5" | "fig7" => run_traces(&args.out),
+            "fig9" => run_fig9(args.scale, &args.out),
+            "fig10" => run_fig10(args.scale, &args.out),
+            "fig11" => run_fig11(args.scale, &args.out),
+            "fig12" => run_fig12(args.scale, &args.out),
+            "fig13" => run_fig13(args.scale, &args.out),
+            "fig16" => run_fig16(args.scale, &args.out),
+            "fig17" => run_fig17(args.scale, &args.out),
+            "ablations" => run_ablations(args.scale, &args.out),
+            "extensions" => run_extensions(args.scale, &args.out),
+            other => {
+                eprintln!("unknown target {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

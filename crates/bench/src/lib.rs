@@ -1,0 +1,21 @@
+//! # rtdvs-bench
+//!
+//! Experiment harness regenerating every table and figure of the RT-DVS
+//! paper's evaluation (§3.2 and §4.3). The `experiments` binary drives the
+//! functions here; integration tests reuse them with smaller sample counts
+//! to assert the paper's qualitative results (orderings, crossovers,
+//! bounds).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod figures;
+pub mod stats;
+pub mod sweep;
+pub mod taskfile;
+
+pub use chart::render_normalized_chart;
+pub use figures::*;
+pub use stats::{welch_t, Summary};
+pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};

@@ -1,0 +1,152 @@
+//! Small statistics helpers for experiment aggregation.
+//!
+//! The paper averages "across hundreds of distinct task sets"; these
+//! helpers quantify how settled such averages are (sample mean, standard
+//! deviation, and a normal-approximation confidence interval), so the
+//! experiment drivers can report error bars and the tests can assert that
+//! sample counts are large enough for the shape checks.
+
+use core::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Summary { n, mean, std_dev }
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+
+    /// Normal-approximation 95% confidence half-width of the mean
+    /// (`1.96 × SE`; adequate for the n ≥ 30 the experiments use).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// `true` if the interval `mean ± ci95` excludes `value`.
+    #[must_use]
+    pub fn significantly_differs_from(&self, value: f64) -> bool {
+        (self.mean - value).abs() > self.ci95_half_width()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n = {})",
+            self.mean,
+            self.ci95_half_width(),
+            self.n
+        )
+    }
+}
+
+/// Welch's t-statistic for two independent samples (no table lookup — the
+/// experiments only need a coarse "clearly different" signal, so callers
+/// compare against ~2 for ≈95% confidence).
+#[must_use]
+pub fn welch_t(a: &Summary, b: &Summary) -> f64 {
+    let se = (a.std_dev.powi(2) / a.n as f64 + b.std_dev.powi(2) / b.n as f64).sqrt();
+    if se == 0.0 {
+        if (a.mean - b.mean).abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (a.mean - b.mean) / se
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.290_994_448_7).abs() < 1e-9);
+        assert!(s.std_err() < s.std_dev);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert!(s.significantly_differs_from(4.9));
+        assert!(!s.significantly_differs_from(5.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 3.0]);
+        let big: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
+        let big = Summary::of(&big);
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn welch_detects_separation() {
+        let a = Summary::of(&[1.0, 1.1, 0.9, 1.0, 1.05]);
+        let b = Summary::of(&[2.0, 2.1, 1.9, 2.0, 2.05]);
+        assert!(welch_t(&b, &a) > 2.0);
+        assert!((welch_t(&a, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_degenerate_cases() {
+        let a = Summary::of(&[1.0, 1.0]);
+        let b = Summary::of(&[2.0, 2.0]);
+        assert!(welch_t(&a, &b).is_infinite());
+        assert_eq!(welch_t(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("1.5"));
+        assert!(text.contains("n = 2"));
+    }
+}

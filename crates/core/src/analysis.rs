@@ -1,0 +1,302 @@
+//! Schedulability analysis for EDF and RM, with frequency scaling.
+//!
+//! Scaling the operating frequency by a factor `α ∈ (0, 1]` multiplies every
+//! worst-case computation time by `1/α` while periods and deadlines are
+//! unchanged (§2.3). Each test below therefore takes `α` and evaluates the
+//! classical condition on the scaled WCETs:
+//!
+//! * **EDF** — the necessary and sufficient utilization bound
+//!   `Σ C_i/(α·P_i) ≤ 1` (Liu & Layland).
+//! * **RM, Liu–Layland** — the sufficient bound
+//!   `Σ C_i/(α·P_i) ≤ n(2^{1/n} − 1)`.
+//! * **RM, scheduling points** — the exact (necessary and sufficient for
+//!   synchronous release) Lehoczky–Sha–Ding test: every task must have some
+//!   scheduling point `t ≤ P_i` at which the level-i workload fits.
+//! * **RM, response time** — the equivalent iterative response-time
+//!   analysis, kept as an independent cross-check of the scheduling-point
+//!   test.
+
+use crate::machine::{Machine, PointIdx};
+use crate::task::TaskSet;
+use crate::time::EPS;
+
+/// Which RM schedulability test to use.
+///
+/// The paper's static-scaling algorithm (Fig. 1) uses a test from the
+/// real-time literature whose cost it describes as roughly quadratic in the
+/// number of tasks, which matches the scheduling-point test; the O(n)
+/// Liu–Layland bound is provided for comparison and ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RmTest {
+    /// Sufficient-only utilization bound `n(2^{1/n} − 1)`.
+    LiuLayland,
+    /// Exact scheduling-point (Lehoczky–Sha–Ding) test. The default.
+    #[default]
+    SchedulingPoints,
+    /// Exact iterative response-time analysis.
+    ResponseTime,
+}
+
+/// The Liu–Layland RM utilization bound `n(2^{1/n} − 1)` for `n` tasks.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    assert!(n > 0, "bound undefined for zero tasks");
+    let n = n as f64;
+    n * (2.0_f64.powf(1.0 / n) - 1.0)
+}
+
+/// EDF feasibility of `tasks` at frequency factor `alpha`:
+/// `Σ C_i/P_i ≤ α`.
+#[must_use]
+pub fn edf_feasible_at(tasks: &TaskSet, alpha: f64) -> bool {
+    tasks.total_utilization() <= alpha + EPS
+}
+
+/// RM feasibility of `tasks` at frequency factor `alpha` under the chosen
+/// test.
+#[must_use]
+pub fn rm_feasible_at(tasks: &TaskSet, alpha: f64, test: RmTest) -> bool {
+    match test {
+        RmTest::LiuLayland => {
+            tasks.total_utilization() <= alpha * liu_layland_bound(tasks.len()) + EPS
+        }
+        RmTest::SchedulingPoints => rm_scheduling_points_feasible(tasks, alpha),
+        RmTest::ResponseTime => rm_response_time_feasible(tasks, alpha),
+    }
+}
+
+/// Ceiling of `t / p` that tolerates float round-off: values within a
+/// relative hair of an integer are treated as that integer.
+fn ceil_tolerant(t: f64, p: f64) -> f64 {
+    let q = t / p;
+    let r = q.round();
+    if (q - r).abs() <= 1e-9 * r.max(1.0) {
+        r
+    } else {
+        q.ceil()
+    }
+}
+
+/// Exact scheduling-point RM test at frequency factor `alpha`.
+///
+/// For each task `i` in priority order, searches the scheduling points
+/// `S_i = { k·P_j : j ≤ i, k = 1..⌊P_i/P_j⌋ } ∪ {P_i}` for a `t` with
+/// `Σ_{j ≤ i} ⌈t/P_j⌉ · C_j/α ≤ t`.
+fn rm_scheduling_points_feasible(tasks: &TaskSet, alpha: f64) -> bool {
+    debug_assert!(alpha > 0.0);
+    let order = tasks.rm_order();
+    for (i, &id_i) in order.iter().enumerate() {
+        let p_i = tasks.task(id_i).period().as_ms();
+        // Collect scheduling points for level i.
+        let mut points: Vec<f64> = Vec::new();
+        for &id_j in &order[..=i] {
+            let p_j = tasks.task(id_j).period().as_ms();
+            let kmax = (p_i / p_j + 1e-9).floor() as u64;
+            for k in 1..=kmax {
+                points.push(k as f64 * p_j);
+            }
+        }
+        points.push(p_i);
+        let fits = points.iter().any(|&t| {
+            let workload: f64 = order[..=i]
+                .iter()
+                .map(|&id_j| {
+                    let task = tasks.task(id_j);
+                    ceil_tolerant(t, task.period().as_ms()) * task.wcet().as_ms() / alpha
+                })
+                .sum();
+            workload <= t + EPS
+        });
+        if !fits {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact response-time RM analysis at frequency factor `alpha`.
+///
+/// Iterates `R ← C_i/α + Σ_{j<i} ⌈R/P_j⌉ · C_j/α` to a fixed point for each
+/// task; feasible if every fixed point is within the task's period.
+fn rm_response_time_feasible(tasks: &TaskSet, alpha: f64) -> bool {
+    debug_assert!(alpha > 0.0);
+    let order = tasks.rm_order();
+    for (i, &id_i) in order.iter().enumerate() {
+        let c_i = tasks.task(id_i).wcet().as_ms() / alpha;
+        let p_i = tasks.task(id_i).period().as_ms();
+        let mut r = c_i;
+        loop {
+            let interference: f64 = order[..i]
+                .iter()
+                .map(|&id_j| {
+                    let task = tasks.task(id_j);
+                    ceil_tolerant(r, task.period().as_ms()) * task.wcet().as_ms() / alpha
+                })
+                .sum();
+            let next = c_i + interference;
+            if next > p_i + EPS {
+                return false;
+            }
+            if (next - r).abs() <= EPS {
+                break;
+            }
+            r = next;
+        }
+    }
+    true
+}
+
+/// The statically-scaled EDF operating point (Fig. 1): the lowest point at
+/// which the EDF test passes, or `None` if the set is infeasible even at
+/// maximum frequency.
+#[must_use]
+pub fn static_edf_point(tasks: &TaskSet, machine: &Machine) -> Option<PointIdx> {
+    machine.lowest_point_where(|p| edf_feasible_at(tasks, p.freq))
+}
+
+/// The statically-scaled RM operating point (Fig. 1): the lowest point at
+/// which the chosen RM test passes, or `None` if none passes.
+#[must_use]
+pub fn static_rm_point(tasks: &TaskSet, machine: &Machine, test: RmTest) -> Option<PointIdx> {
+    machine.lowest_point_where(|p| rm_feasible_at(tasks, p.freq, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_set() -> TaskSet {
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.828_427_124_746_19).abs() < 1e-9);
+        assert!((liu_layland_bound(3) - 0.779_763_149_684_62).abs() < 1e-9);
+        // Tends to ln 2 for large n.
+        assert!((liu_layland_bound(10_000) - core::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn edf_test_on_paper_set() {
+        let set = paper_set();
+        // U = 0.746: feasible at 0.75 and 1.0, not at 0.5 (Fig. 2).
+        assert!(edf_feasible_at(&set, 1.0));
+        assert!(edf_feasible_at(&set, 0.75));
+        assert!(!edf_feasible_at(&set, 0.5));
+    }
+
+    #[test]
+    fn rm_tests_on_paper_set() {
+        let set = paper_set();
+        // Fig. 2: static RM must run at 1.0; 0.75 misses T3's deadline.
+        for test in [
+            RmTest::LiuLayland,
+            RmTest::SchedulingPoints,
+            RmTest::ResponseTime,
+        ] {
+            assert!(rm_feasible_at(&set, 1.0, test), "{test:?} at 1.0");
+            assert!(!rm_feasible_at(&set, 0.75, test), "{test:?} at 0.75");
+            assert!(!rm_feasible_at(&set, 0.5, test), "{test:?} at 0.5");
+        }
+    }
+
+    #[test]
+    fn exact_tests_admit_more_than_liu_layland() {
+        // Harmonic periods: U = 1.0 is RM-schedulable exactly, but fails LL.
+        let set = TaskSet::from_ms_pairs(&[(2.0, 1.0), (4.0, 2.0)]).unwrap();
+        assert!((set.total_utilization() - 1.0).abs() < 1e-12);
+        assert!(!rm_feasible_at(&set, 1.0, RmTest::LiuLayland));
+        assert!(rm_feasible_at(&set, 1.0, RmTest::SchedulingPoints));
+        assert!(rm_feasible_at(&set, 1.0, RmTest::ResponseTime));
+    }
+
+    #[test]
+    fn static_points_on_paper_set() {
+        let set = paper_set();
+        let m = Machine::machine0();
+        // Fig. 2: static EDF uses 0.75, static RM uses 1.0.
+        assert_eq!(static_edf_point(&set, &m), Some(1));
+        assert_eq!(static_rm_point(&set, &m, RmTest::SchedulingPoints), Some(2));
+        assert_eq!(static_rm_point(&set, &m, RmTest::LiuLayland), Some(2));
+    }
+
+    #[test]
+    fn infeasible_set_has_no_static_point() {
+        // U > 1: not schedulable at any frequency.
+        let set = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).unwrap();
+        let m = Machine::machine0();
+        assert_eq!(static_edf_point(&set, &m), None);
+        assert_eq!(static_rm_point(&set, &m, RmTest::SchedulingPoints), None);
+    }
+
+    #[test]
+    fn single_task_feasibility_threshold() {
+        // One task with U = 0.6 needs α ≥ 0.6 under every test.
+        let set = TaskSet::from_ms_pairs(&[(10.0, 6.0)]).unwrap();
+        for test in [
+            RmTest::LiuLayland,
+            RmTest::SchedulingPoints,
+            RmTest::ResponseTime,
+        ] {
+            assert!(rm_feasible_at(&set, 0.6, test));
+            assert!(!rm_feasible_at(&set, 0.59, test));
+        }
+        assert!(edf_feasible_at(&set, 0.6));
+        assert!(!edf_feasible_at(&set, 0.59));
+    }
+
+    #[test]
+    fn ceil_tolerant_handles_exact_multiples() {
+        assert_eq!(ceil_tolerant(14.0, 7.0), 2.0);
+        assert_eq!(ceil_tolerant(14.000001, 7.0), 3.0);
+        assert_eq!(ceil_tolerant(13.9, 7.0), 2.0);
+        // A value that is an exact multiple only up to float noise.
+        let t = 0.3 * 3.0; // 0.8999999999999999
+        assert_eq!(ceil_tolerant(t, 0.3), 3.0);
+    }
+
+    #[test]
+    fn exact_tests_agree_on_random_like_sets() {
+        // A few hand-picked sets where LL is inconclusive.
+        let sets = [
+            vec![(5.0, 2.0), (7.0, 2.0), (11.0, 1.5)],
+            vec![(3.0, 1.0), (6.0, 2.0), (12.0, 4.0)],
+            vec![(10.0, 4.0), (15.0, 4.0), (35.0, 3.5)],
+        ];
+        for pairs in sets {
+            let set = TaskSet::from_ms_pairs(&pairs).unwrap();
+            for alpha in [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0] {
+                assert_eq!(
+                    rm_feasible_at(&set, alpha, RmTest::SchedulingPoints),
+                    rm_feasible_at(&set, alpha, RmTest::ResponseTime),
+                    "disagreement on {pairs:?} at alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_monotonicity() {
+        // If feasible at α, feasible at any α' ≥ α.
+        let set = paper_set();
+        let mut prev = false;
+        for step in 0..=20 {
+            let alpha = 0.05 * step as f64 + 0.0;
+            if alpha <= 0.0 {
+                continue;
+            }
+            let now = rm_feasible_at(&set, alpha, RmTest::SchedulingPoints);
+            assert!(
+                !prev || now,
+                "feasibility lost when raising alpha to {alpha}"
+            );
+            prev = now;
+        }
+    }
+}

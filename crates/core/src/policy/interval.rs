@@ -1,0 +1,229 @@
+//! Interval-based throughput governor (baseline, *not* real-time safe).
+//!
+//! The DVS algorithms the paper positions itself against ([7, 23, 30] —
+//! Weiser et al.'s PAST and its descendants) watch recent processor
+//! utilization over an interval and nudge the frequency up when the system
+//! was busy and down when it idled. They "result in close adaptation to
+//! the workload and large energy savings, [but] are unsuitable for
+//! real-time systems" (§5): nothing ties the chosen speed to any deadline.
+//!
+//! This implementation reproduces that class faithfully enough to measure
+//! its failure: an exponentially-weighted utilization estimate updated at
+//! every scheduling point, with raise/lower hysteresis thresholds. Use it
+//! as the "what if we just used a normal governor" comparison in
+//! experiments; its [`DvsPolicy::guarantees`] is always `false`.
+
+use crate::machine::{Machine, PointIdx};
+use crate::policy::DvsPolicy;
+use crate::sched::SchedulerKind;
+use crate::task::{TaskId, TaskSet};
+use crate::time::{Time, Work, EPS};
+use crate::view::SystemView;
+
+/// Weiser-style interval governor.
+#[derive(Debug, Clone)]
+pub struct IntervalGovernor {
+    /// EWMA smoothing factor for new observations, in `(0, 1]`.
+    weight: f64,
+    /// Raise speed when the estimate exceeds this busy fraction of the
+    /// current frequency.
+    raise_above: f64,
+    /// Lower speed when the estimate falls below this busy fraction.
+    lower_below: f64,
+    utilization_estimate: f64,
+    last_decision: Time,
+    last_executed: Vec<(u64, Work)>,
+    point: PointIdx,
+}
+
+impl Default for IntervalGovernor {
+    fn default() -> IntervalGovernor {
+        IntervalGovernor::new(0.3, 0.7, 0.5)
+    }
+}
+
+impl IntervalGovernor {
+    /// Creates a governor with the given EWMA weight and hysteresis
+    /// thresholds (busy fractions of the current speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is outside `(0, 1]` or the thresholds are not
+    /// `0 < lower_below < raise_above ≤ 1`.
+    #[must_use]
+    pub fn new(weight: f64, raise_above: f64, lower_below: f64) -> IntervalGovernor {
+        assert!(weight > 0.0 && weight <= 1.0, "bad weight {weight}");
+        assert!(
+            0.0 < lower_below && lower_below < raise_above && raise_above <= 1.0,
+            "bad thresholds ({lower_below}, {raise_above})"
+        );
+        IntervalGovernor {
+            weight,
+            raise_above,
+            lower_below,
+            utilization_estimate: 0.0,
+            last_decision: Time::ZERO,
+            last_executed: Vec::new(),
+            point: 0,
+        }
+    }
+
+    /// The current utilization estimate (busy work per unit time).
+    #[must_use]
+    pub fn utilization_estimate(&self) -> f64 {
+        self.utilization_estimate
+    }
+
+    /// Total work executed since the last decision, from per-task deltas.
+    fn work_since_last(&mut self, sys: &SystemView<'_>) -> Work {
+        let mut total = Work::ZERO;
+        for (state, view) in self.last_executed.iter_mut().zip(sys.views) {
+            if state.0 != view.invocation {
+                state.0 = view.invocation;
+                state.1 = Work::ZERO;
+            }
+            total += (view.executed - state.1).clamp_non_negative();
+            state.1 = view.executed;
+        }
+        total
+    }
+
+    fn decide(&mut self, sys: &SystemView<'_>) -> PointIdx {
+        let dt = sys.now - self.last_decision;
+        let work = self.work_since_last(sys);
+        if dt.as_ms() > EPS {
+            let observed = (work.as_ms() / dt.as_ms()).clamp(0.0, 1.0);
+            self.utilization_estimate =
+                (1.0 - self.weight) * self.utilization_estimate + self.weight * observed;
+            self.last_decision = sys.now;
+        }
+        // Busy fraction relative to the speed we ran at.
+        let speed = sys.machine.point(self.point).freq;
+        let busy_fraction = (self.utilization_estimate / speed).clamp(0.0, 1.0);
+        if busy_fraction > self.raise_above && self.point < sys.machine.highest() {
+            self.point += 1;
+        } else if busy_fraction < self.lower_below && self.point > 0 {
+            self.point -= 1;
+        }
+        self.point
+    }
+}
+
+impl DvsPolicy for IntervalGovernor {
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+
+    fn scheduler(&self) -> SchedulerKind {
+        SchedulerKind::Edf
+    }
+
+    fn init(&mut self, tasks: &TaskSet, machine: &Machine) -> PointIdx {
+        self.utilization_estimate = 0.0;
+        self.last_decision = Time::ZERO;
+        self.last_executed = vec![(0, Work::ZERO); tasks.len()];
+        // Governors wake up slow and react; start at the bottom.
+        self.point = machine.lowest();
+        self.point
+    }
+
+    fn on_release(&mut self, _task: TaskId, sys: &SystemView<'_>) -> PointIdx {
+        self.decide(sys)
+    }
+
+    fn on_completion(&mut self, _task: TaskId, sys: &SystemView<'_>) -> PointIdx {
+        self.decide(sys)
+    }
+
+    fn idle_point(&self, machine: &Machine) -> PointIdx {
+        machine.lowest()
+    }
+
+    fn current_point(&self) -> PointIdx {
+        self.point
+    }
+
+    fn guarantees(&self, _tasks: &TaskSet) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{InvState, TaskView};
+
+    fn paper_set() -> TaskSet {
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let g = IntervalGovernor::default();
+        assert_eq!(g.name(), "interval");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thresholds")]
+    fn rejects_inverted_thresholds() {
+        let _ = IntervalGovernor::new(0.3, 0.4, 0.6);
+    }
+
+    #[test]
+    fn starts_at_the_bottom_and_never_guarantees() {
+        let tasks = paper_set();
+        let machine = Machine::machine0();
+        let mut g = IntervalGovernor::default();
+        assert_eq!(g.init(&tasks, &machine), machine.lowest());
+        assert!(!g.guarantees(&tasks));
+    }
+
+    #[test]
+    fn sustained_load_raises_speed_and_idle_lowers_it() {
+        let tasks = paper_set();
+        let machine = Machine::machine0();
+        let mut g = IntervalGovernor::default();
+        g.init(&tasks, &machine);
+        // Simulate a long fully-busy stretch: T1 executes continuously.
+        let mut views: Vec<TaskView> = tasks
+            .tasks()
+            .iter()
+            .map(|t| TaskView {
+                invocation: 1,
+                state: InvState::Active,
+                executed: Work::ZERO,
+                deadline: t.period(),
+                next_release: t.period(),
+            })
+            .collect();
+        let mut point = 0;
+        for step in 1..=20 {
+            let now = step as f64;
+            views[0].executed = Work::from_ms(now * 0.5); // busy at speed 0.5
+            let sys = SystemView {
+                now: Time::from_ms(now),
+                tasks: &tasks,
+                machine: &machine,
+                views: &views,
+            };
+            point = g.on_completion(TaskId(0), &sys);
+        }
+        assert!(point > 0, "sustained load must raise the speed");
+        assert!(g.utilization_estimate() > 0.3);
+
+        // Now a long idle stretch drags it back down.
+        let executed_frozen = views[0].executed;
+        for step in 21..=60 {
+            let now = step as f64;
+            views[0].executed = executed_frozen;
+            let sys = SystemView {
+                now: Time::from_ms(now),
+                tasks: &tasks,
+                machine: &machine,
+                views: &views,
+            };
+            point = g.on_completion(TaskId(0), &sys);
+        }
+        assert_eq!(point, 0, "idleness must lower the speed to the floor");
+    }
+}

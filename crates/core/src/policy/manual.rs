@@ -1,0 +1,102 @@
+//! Manually pinned operating point.
+//!
+//! The prototype's PowerNow! module exposes a `/procfs` interface so an
+//! operator (or a user-level governor) can "manually deal with operating
+//! frequency and voltage through simple Unix shell commands" (§4.2). This
+//! policy is that knob: the processor runs — and idles — at one fixed
+//! point, chosen by the user, with no schedulability reasoning at all.
+//!
+//! It is also the tool for reproducing the *negative* results: pinning the
+//! paper's example task set to 0.75 under RM reproduces Fig. 2's missed
+//! deadline for T3.
+
+use crate::machine::{Machine, PointIdx};
+use crate::policy::DvsPolicy;
+use crate::sched::SchedulerKind;
+use crate::task::{TaskId, TaskSet};
+use crate::view::SystemView;
+
+/// A fixed, user-chosen operating point under either scheduler.
+#[derive(Debug, Clone)]
+pub struct ManualDvs {
+    scheduler: SchedulerKind,
+    requested: PointIdx,
+    point: PointIdx,
+}
+
+impl ManualDvs {
+    /// Pins the machine to operating point `point` (clamped to the
+    /// machine's range at [`DvsPolicy::init`]).
+    #[must_use]
+    pub fn new(scheduler: SchedulerKind, point: PointIdx) -> ManualDvs {
+        ManualDvs {
+            scheduler,
+            requested: point,
+            point,
+        }
+    }
+
+    /// Re-pins to a different point (takes effect at the next scheduling
+    /// point, like writing the prototype's procfs file).
+    pub fn set_point(&mut self, point: PointIdx) {
+        self.requested = point;
+        self.point = point;
+    }
+}
+
+impl DvsPolicy for ManualDvs {
+    fn name(&self) -> &'static str {
+        "manual"
+    }
+
+    fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    fn init(&mut self, _tasks: &TaskSet, machine: &Machine) -> PointIdx {
+        self.point = self.requested.min(machine.highest());
+        self.point
+    }
+
+    fn on_release(&mut self, _task: TaskId, _sys: &SystemView<'_>) -> PointIdx {
+        self.point
+    }
+
+    fn on_completion(&mut self, _task: TaskId, _sys: &SystemView<'_>) -> PointIdx {
+        self.point
+    }
+
+    fn idle_point(&self, _machine: &Machine) -> PointIdx {
+        self.point
+    }
+
+    fn current_point(&self) -> PointIdx {
+        self.point
+    }
+
+    fn guarantees(&self, _tasks: &TaskSet) -> bool {
+        // A manual pin makes no promise; real guarantees need the
+        // schedulability test at the pinned frequency, which the operator
+        // has bypassed.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_and_clamps() {
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0)]).unwrap();
+        let machine = Machine::machine0();
+        let mut p = ManualDvs::new(SchedulerKind::Rm, 99);
+        assert_eq!(p.init(&tasks, &machine), machine.highest());
+        let mut p = ManualDvs::new(SchedulerKind::Edf, 1);
+        assert_eq!(p.init(&tasks, &machine), 1);
+        assert_eq!(p.idle_point(&machine), 1);
+        p.set_point(0);
+        assert_eq!(p.current_point(), 0);
+        assert!(!p.guarantees(&tasks));
+    }
+}

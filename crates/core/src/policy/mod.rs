@@ -1,0 +1,314 @@
+//! The RT-DVS policies of the paper (§2.3–§2.5) behind one trait.
+//!
+//! A [`DvsPolicy`] couples a real-time scheduler choice (EDF or RM) with a
+//! rule for picking the processor operating point at every scheduling
+//! point. The execution engine calls [`DvsPolicy::on_release`] and
+//! [`DvsPolicy::on_completion`] exactly as the paper's modified OS would —
+//! at most two frequency/voltage switches per task per invocation — and
+//! honors [`DvsPolicy::idle_point`] while the ready queue is empty (the
+//! dynamic schemes halt at the lowest point, the static ones stay put,
+//! §3.2 "Varying idle level").
+//!
+//! | Policy | Scheduler | Rule |
+//! |---|---|---|
+//! | [`PlainDvs`] | either | always maximum frequency (the non-DVS baseline) |
+//! | [`StaticDvs`] | either | lowest point passing the scaled schedulability test (§2.3) |
+//! | [`CcEdf`] | EDF | utilization test on actual usage of completed invocations (§2.4) |
+//! | [`CcRm`] | RM | pace the statically-scaled worst-case RM schedule (§2.4) |
+//! | [`LaEdf`] | EDF | defer work past the next deadline, run the rest slowly (§2.5) |
+
+mod cc_edf;
+mod cc_rm;
+mod interval;
+mod la_edf;
+mod manual;
+mod plain;
+mod static_scale;
+mod stochastic;
+
+pub use cc_edf::CcEdf;
+pub use cc_rm::CcRm;
+pub use interval::IntervalGovernor;
+pub use la_edf::LaEdf;
+pub use manual::ManualDvs;
+pub use plain::PlainDvs;
+pub use static_scale::StaticDvs;
+pub use stochastic::StochasticEdf;
+
+use crate::analysis::{edf_feasible_at, rm_feasible_at, RmTest};
+use crate::machine::{Machine, PointIdx};
+use crate::sched::SchedulerKind;
+use crate::task::{TaskId, TaskSet};
+use crate::time::{Time, Work, EPS};
+use crate::view::SystemView;
+
+/// A dynamic-voltage-scaling policy coupled to a real-time scheduler.
+///
+/// Engines drive a policy as follows: one call to [`DvsPolicy::init`] with
+/// the task set and machine, then one [`DvsPolicy::on_release`] /
+/// [`DvsPolicy::on_completion`] call per task release/completion event (in
+/// event order), each returning the operating point to use from that moment
+/// on. While no task is ready the engine runs at [`DvsPolicy::idle_point`]
+/// and returns to [`DvsPolicy::current_point`] when work arrives.
+pub trait DvsPolicy {
+    /// Display name matching the paper's figure legends (e.g. "laEDF").
+    fn name(&self) -> &'static str;
+
+    /// The real-time scheduler this policy pairs with.
+    fn scheduler(&self) -> SchedulerKind;
+
+    /// Resets internal state for a task set and machine and returns the
+    /// initial operating point.
+    fn init(&mut self, tasks: &TaskSet, machine: &Machine) -> PointIdx;
+
+    /// Called when `task` is released; returns the operating point to use.
+    fn on_release(&mut self, task: TaskId, sys: &SystemView<'_>) -> PointIdx;
+
+    /// Called when `task` completes its invocation (its actual usage is
+    /// `sys.view(task).executed`); returns the operating point to use.
+    fn on_completion(&mut self, task: TaskId, sys: &SystemView<'_>) -> PointIdx;
+
+    /// The next instant by which the policy needs a review callback even
+    /// if no release or completion happens before then, or `None`.
+    ///
+    /// In the paper's strictly periodic model every deadline coincides
+    /// with a release, so scheduling points alone suffice and this always
+    /// stays `None`. Under sporadic arrivals the look-ahead algorithm
+    /// defers work past the earliest deadline `D1` *counting on
+    /// re-planning there* — so it requests a review at `D1`; the engine
+    /// must call [`DvsPolicy::on_review`] no later than that instant.
+    fn review_at(&self) -> Option<Time> {
+        None
+    }
+
+    /// Review callback (see [`DvsPolicy::review_at`]); returns the
+    /// operating point to use from this moment on.
+    fn on_review(&mut self, sys: &SystemView<'_>) -> PointIdx {
+        let _ = sys;
+        self.current_point()
+    }
+
+    /// The operating point to halt at while the ready queue is empty.
+    fn idle_point(&self, machine: &Machine) -> PointIdx;
+
+    /// The most recently selected operating point.
+    fn current_point(&self) -> PointIdx;
+
+    /// Whether this policy can guarantee all deadlines for `tasks` (the
+    /// admission test condition C1 of §2.2 for the paired scheduler).
+    fn guarantees(&self, tasks: &TaskSet) -> bool;
+}
+
+/// Shared `select frequency` step: the lowest point able to retire `work`
+/// within `horizon`, saturating at the maximum point when the demand is
+/// infeasible (or the horizon empty with work pending).
+#[must_use]
+pub fn point_for_demand(machine: &Machine, work: Work, horizon: Time) -> PointIdx {
+    if !work.is_positive() {
+        return machine.lowest();
+    }
+    if horizon.as_ms() <= EPS {
+        return machine.highest();
+    }
+    machine.point_at_least(work.as_ms() / horizon.as_ms())
+}
+
+/// Constructor-style enumeration of every available policy, used by the
+/// simulator, the experiment drivers, and the kernel's module loader. The
+/// first seven are the paper's; the last two are documented extensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Plain EDF, no DVS (the paper's "none" baseline).
+    PlainEdf,
+    /// Plain RM, no DVS.
+    PlainRm,
+    /// Statically-scaled EDF.
+    StaticEdf,
+    /// Statically-scaled RM with the given schedulability test.
+    StaticRm(RmTest),
+    /// Cycle-conserving EDF.
+    CcEdf,
+    /// Cycle-conserving RM (paced against static scaling with the given
+    /// test).
+    CcRm(RmTest),
+    /// Look-ahead EDF.
+    LaEdf,
+    /// Extension: statistical (quantile-reservation) EDF with the given
+    /// confidence — the paper's §6 future-work direction. Probabilistic
+    /// deadline guarantees only.
+    StochasticEdf {
+        /// Quantile of observed execution times to reserve, in `(0, 1]`.
+        confidence: f64,
+    },
+    /// Baseline: a deadline-oblivious interval/throughput governor in the
+    /// style the paper argues against (§5). No deadline guarantees.
+    Interval,
+    /// Manual pin to one operating point under the given scheduler (the
+    /// prototype's procfs knob, §4.2). No deadline guarantees.
+    Manual {
+        /// The scheduler to run under.
+        scheduler: SchedulerKind,
+        /// The pinned operating point (clamped to the machine).
+        point: usize,
+    },
+}
+
+impl PolicyKind {
+    /// The six policies evaluated in the paper's figures, in legend order:
+    /// EDF, StaticRM, StaticEDF, ccEDF, ccRM, laEDF.
+    #[must_use]
+    pub fn paper_six() -> [PolicyKind; 6] {
+        [
+            PolicyKind::PlainEdf,
+            PolicyKind::StaticRm(RmTest::default()),
+            PolicyKind::StaticEdf,
+            PolicyKind::CcEdf,
+            PolicyKind::CcRm(RmTest::default()),
+            PolicyKind::LaEdf,
+        ]
+    }
+
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(self) -> Box<dyn DvsPolicy + Send> {
+        match self {
+            PolicyKind::PlainEdf => Box::new(PlainDvs::new(SchedulerKind::Edf)),
+            PolicyKind::PlainRm => Box::new(PlainDvs::new(SchedulerKind::Rm)),
+            PolicyKind::StaticEdf => Box::new(StaticDvs::edf()),
+            PolicyKind::StaticRm(test) => Box::new(StaticDvs::rm(test)),
+            PolicyKind::CcEdf => Box::new(CcEdf::new()),
+            PolicyKind::CcRm(test) => Box::new(CcRm::new(test)),
+            PolicyKind::LaEdf => Box::new(LaEdf::new()),
+            PolicyKind::StochasticEdf { confidence } => Box::new(StochasticEdf::new(confidence)),
+            PolicyKind::Interval => Box::new(IntervalGovernor::default()),
+            PolicyKind::Manual { scheduler, point } => Box::new(ManualDvs::new(scheduler, point)),
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::PlainEdf => "EDF",
+            PolicyKind::PlainRm => "RM",
+            PolicyKind::StaticEdf => "StaticEDF",
+            PolicyKind::StaticRm(_) => "StaticRM",
+            PolicyKind::CcEdf => "ccEDF",
+            PolicyKind::CcRm(_) => "ccRM",
+            PolicyKind::LaEdf => "laEDF",
+            PolicyKind::StochasticEdf { .. } => "stochEDF",
+            PolicyKind::Interval => "interval",
+            PolicyKind::Manual { .. } => "manual",
+        }
+    }
+
+    /// The scheduler this policy kind pairs with.
+    #[must_use]
+    pub fn scheduler(self) -> SchedulerKind {
+        match self {
+            PolicyKind::PlainEdf
+            | PolicyKind::StaticEdf
+            | PolicyKind::CcEdf
+            | PolicyKind::LaEdf
+            | PolicyKind::StochasticEdf { .. }
+            | PolicyKind::Interval => SchedulerKind::Edf,
+            PolicyKind::PlainRm | PolicyKind::StaticRm(_) | PolicyKind::CcRm(_) => {
+                SchedulerKind::Rm
+            }
+            PolicyKind::Manual { scheduler, .. } => scheduler,
+        }
+    }
+}
+
+/// The admission condition C1 for a scheduler at maximum frequency:
+/// EDF needs `U ≤ 1`, RM needs the chosen RM test to pass at `α = 1`.
+#[must_use]
+pub fn scheduler_guarantees(kind: SchedulerKind, tasks: &TaskSet, rm_test: RmTest) -> bool {
+    match kind {
+        SchedulerKind::Edf => edf_feasible_at(tasks, 1.0),
+        SchedulerKind::Rm => rm_feasible_at(tasks, 1.0, rm_test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_for_demand_basic() {
+        let m = Machine::machine0();
+        // No work: lowest point regardless of horizon.
+        assert_eq!(
+            point_for_demand(&m, Work::ZERO, Time::from_ms(0.0)),
+            m.lowest()
+        );
+        // 3 work in 8 ms → 0.375 → 0.5 point.
+        assert_eq!(
+            point_for_demand(&m, Work::from_ms(3.0), Time::from_ms(8.0)),
+            0
+        );
+        // 5.083 work in 8 ms → 0.635 → 0.75 point (Fig. 7b).
+        assert_eq!(
+            point_for_demand(&m, Work::from_ms(5.083), Time::from_ms(8.0)),
+            1
+        );
+        // Demand above 1.0 saturates.
+        assert_eq!(
+            point_for_demand(&m, Work::from_ms(9.0), Time::from_ms(8.0)),
+            2
+        );
+        // Pending work with an empty horizon also saturates.
+        assert_eq!(point_for_demand(&m, Work::from_ms(1.0), Time::ZERO), 2);
+    }
+
+    #[test]
+    fn paper_six_names_and_schedulers() {
+        let names: Vec<&str> = PolicyKind::paper_six().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["EDF", "StaticRM", "StaticEDF", "ccEDF", "ccRM", "laEDF"]
+        );
+        assert_eq!(PolicyKind::LaEdf.scheduler(), SchedulerKind::Edf);
+        assert_eq!(
+            PolicyKind::CcRm(RmTest::default()).scheduler(),
+            SchedulerKind::Rm
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_policies() {
+        for kind in PolicyKind::paper_six() {
+            let policy = kind.build();
+            assert_eq!(policy.name(), kind.name());
+            assert_eq!(policy.scheduler(), kind.scheduler());
+        }
+    }
+
+    #[test]
+    fn scheduler_guarantees_edf_vs_rm() {
+        // The paper's example set: EDF-feasible, RM-feasible only at 1.0.
+        let set = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap();
+        assert!(scheduler_guarantees(
+            SchedulerKind::Edf,
+            &set,
+            RmTest::default()
+        ));
+        assert!(scheduler_guarantees(
+            SchedulerKind::Rm,
+            &set,
+            RmTest::default()
+        ));
+        // A set schedulable under EDF but not under RM.
+        let tight = TaskSet::from_ms_pairs(&[(10.0, 5.0), (14.0, 6.9)]).unwrap();
+        assert!(scheduler_guarantees(
+            SchedulerKind::Edf,
+            &tight,
+            RmTest::default()
+        ));
+        assert!(!scheduler_guarantees(
+            SchedulerKind::Rm,
+            &tight,
+            RmTest::SchedulingPoints
+        ));
+    }
+}

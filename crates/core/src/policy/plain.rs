@@ -1,0 +1,105 @@
+//! The non-DVS baseline: always run at maximum frequency.
+
+use crate::analysis::RmTest;
+use crate::machine::{Machine, PointIdx};
+use crate::policy::{scheduler_guarantees, DvsPolicy};
+use crate::sched::SchedulerKind;
+use crate::task::{TaskId, TaskSet};
+use crate::view::SystemView;
+
+/// Plain EDF or RM scheduling with no voltage scaling (the paper's "none"
+/// comparison row): the processor always runs — and idles — at the maximum
+/// operating point.
+#[derive(Debug, Clone)]
+pub struct PlainDvs {
+    scheduler: SchedulerKind,
+    point: PointIdx,
+}
+
+impl PlainDvs {
+    /// Creates the baseline for the given scheduler.
+    #[must_use]
+    pub fn new(scheduler: SchedulerKind) -> PlainDvs {
+        PlainDvs {
+            scheduler,
+            point: 0,
+        }
+    }
+}
+
+impl DvsPolicy for PlainDvs {
+    fn name(&self) -> &'static str {
+        match self.scheduler {
+            SchedulerKind::Edf => "EDF",
+            SchedulerKind::Rm => "RM",
+        }
+    }
+
+    fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    fn init(&mut self, _tasks: &TaskSet, machine: &Machine) -> PointIdx {
+        self.point = machine.highest();
+        self.point
+    }
+
+    fn on_release(&mut self, _task: TaskId, _sys: &SystemView<'_>) -> PointIdx {
+        self.point
+    }
+
+    fn on_completion(&mut self, _task: TaskId, _sys: &SystemView<'_>) -> PointIdx {
+        self.point
+    }
+
+    fn idle_point(&self, _machine: &Machine) -> PointIdx {
+        // No DVS support: the processor halts at full frequency and voltage.
+        self.point
+    }
+
+    fn current_point(&self) -> PointIdx {
+        self.point
+    }
+
+    fn guarantees(&self, tasks: &TaskSet) -> bool {
+        scheduler_guarantees(self.scheduler, tasks, RmTest::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Time, Work};
+    use crate::view::{InvState, TaskView};
+
+    #[test]
+    fn always_max_point() {
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0)]).unwrap();
+        let machine = Machine::machine0();
+        let mut p = PlainDvs::new(SchedulerKind::Edf);
+        assert_eq!(p.init(&tasks, &machine), 2);
+        let views = vec![TaskView {
+            invocation: 1,
+            state: InvState::Active,
+            executed: Work::ZERO,
+            deadline: Time::from_ms(8.0),
+            next_release: Time::from_ms(8.0),
+        }];
+        let sys = SystemView {
+            now: Time::ZERO,
+            tasks: &tasks,
+            machine: &machine,
+            views: &views,
+        };
+        assert_eq!(p.on_release(TaskId(0), &sys), 2);
+        assert_eq!(p.on_completion(TaskId(0), &sys), 2);
+        assert_eq!(p.idle_point(&machine), 2);
+        assert_eq!(p.current_point(), 2);
+    }
+
+    #[test]
+    fn names_follow_scheduler() {
+        assert_eq!(PlainDvs::new(SchedulerKind::Edf).name(), "EDF");
+        assert_eq!(PlainDvs::new(SchedulerKind::Rm).name(), "RM");
+    }
+}

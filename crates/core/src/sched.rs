@@ -1,0 +1,118 @@
+//! Preemptive priority rules for the two classical real-time schedulers the
+//! paper builds on: Earliest-Deadline-First and Rate-Monotonic (§2.2).
+//!
+//! The actual dispatch loop lives in the execution engines (`rtdvs-sim`,
+//! `rtdvs-kernel`); this module only defines the priority order so that
+//! every engine resolves ties identically (by [`TaskId`], which keeps runs
+//! deterministic and reproducible).
+
+use core::cmp::Ordering;
+
+use crate::task::{TaskId, TaskSet};
+use crate::time::Time;
+
+/// Which real-time scheduler a policy pairs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SchedulerKind {
+    /// Earliest-Deadline-First: dynamic priority by absolute deadline.
+    Edf,
+    /// Rate-Monotonic: static priority by period (shorter period first).
+    Rm,
+}
+
+impl SchedulerKind {
+    /// Short lower-case name for reports ("edf" / "rm").
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedulerKind::Edf => "edf",
+            SchedulerKind::Rm => "rm",
+        }
+    }
+
+    /// Compares two ready tasks; `Ordering::Less` means `a` runs first.
+    ///
+    /// * EDF: earlier absolute deadline wins, ties by id.
+    /// * RM: shorter period wins, ties by id (deadlines are ignored).
+    #[must_use]
+    pub fn compare(self, tasks: &TaskSet, a: (TaskId, Time), b: (TaskId, Time)) -> Ordering {
+        match self {
+            SchedulerKind::Edf => a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)),
+            SchedulerKind::Rm => tasks
+                .task(a.0)
+                .period()
+                .total_cmp(&tasks.task(b.0).period())
+                .then(a.0.cmp(&b.0)),
+        }
+    }
+
+    /// Picks the highest-priority task among `ready`, where each entry is
+    /// `(task, absolute deadline of its current invocation)`.
+    ///
+    /// Returns `None` if `ready` is empty.
+    #[must_use]
+    pub fn pick_next(self, tasks: &TaskSet, ready: &[(TaskId, Time)]) -> Option<TaskId> {
+        ready
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.compare(tasks, a, b))
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_set() -> TaskSet {
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn edf_prefers_earliest_deadline() {
+        let set = paper_set();
+        let ready = vec![
+            (TaskId(0), Time::from_ms(16.0)),
+            (TaskId(1), Time::from_ms(10.0)),
+            (TaskId(2), Time::from_ms(14.0)),
+        ];
+        assert_eq!(SchedulerKind::Edf.pick_next(&set, &ready), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn rm_prefers_shortest_period_regardless_of_deadline() {
+        let set = paper_set();
+        // T1 has the shortest period even though its deadline here is latest.
+        let ready = vec![
+            (TaskId(0), Time::from_ms(24.0)),
+            (TaskId(1), Time::from_ms(10.0)),
+            (TaskId(2), Time::from_ms(14.0)),
+        ];
+        assert_eq!(SchedulerKind::Rm.pick_next(&set, &ready), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (10.0, 1.0)]).unwrap();
+        let ready = vec![
+            (TaskId(1), Time::from_ms(10.0)),
+            (TaskId(0), Time::from_ms(10.0)),
+        ];
+        assert_eq!(SchedulerKind::Edf.pick_next(&set, &ready), Some(TaskId(0)));
+        assert_eq!(SchedulerKind::Rm.pick_next(&set, &ready), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn empty_ready_queue() {
+        let set = paper_set();
+        assert_eq!(SchedulerKind::Edf.pick_next(&set, &[]), None);
+        assert_eq!(SchedulerKind::Rm.pick_next(&set, &[]), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SchedulerKind::Edf.as_str(), "edf");
+        assert_eq!(SchedulerKind::Rm.as_str(), "rm");
+    }
+}

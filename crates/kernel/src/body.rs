@@ -1,0 +1,163 @@
+//! Task bodies: the application side of a periodic real-time task.
+//!
+//! In the prototype (§4.2), a user task writes its period and worst-case
+//! computing bound to the kernel module, then loops doing work and writing
+//! a completion notification each invocation. In this virtual-time kernel a
+//! task's per-invocation CPU demand is supplied by a [`TaskBody`], which
+//! plays the role of the user-level loop.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use rtdvs_core::task::Task;
+use rtdvs_core::time::{Time, Work};
+
+/// Supplies the actual computation demand of each invocation.
+pub trait TaskBody: Send {
+    /// Returns the work (at maximum frequency) that invocation
+    /// `invocation` (1-based) consumes. Values above the task's WCET model
+    /// an overrun (condition C2 violated) and are executed as returned.
+    fn run(&mut self, invocation: u64, spec: &Task) -> Work;
+
+    /// Notification that invocation `invocation` finished executing at
+    /// virtual time `now`. Most bodies ignore it; the aperiodic server
+    /// uses it to timestamp job completions.
+    fn on_invocation_complete(&mut self, invocation: u64, now: Time) {
+        let _ = (invocation, now);
+    }
+}
+
+impl<F> TaskBody for F
+where
+    F: FnMut(u64, &Task) -> Work + Send,
+{
+    fn run(&mut self, invocation: u64, spec: &Task) -> Work {
+        self(invocation, spec)
+    }
+}
+
+/// A body that always uses its full worst case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WcetBody;
+
+impl TaskBody for WcetBody {
+    fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
+        spec.wcet()
+    }
+}
+
+/// A body that uses a constant fraction of the worst case each invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct FractionBody(pub f64);
+
+impl TaskBody for FractionBody {
+    fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
+        spec.wcet() * self.0.clamp(0.0, 1.0)
+    }
+}
+
+/// A body that draws a uniformly-distributed fraction of the worst case,
+/// deterministically from its seed.
+#[derive(Debug)]
+pub struct UniformBody {
+    rng: StdRng,
+}
+
+impl UniformBody {
+    /// Creates the body with a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> UniformBody {
+        UniformBody {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TaskBody for UniformBody {
+    fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
+        spec.wcet() * self.rng.random_range(0.0..=1.0)
+    }
+}
+
+/// Wraps another body with a cold-start surcharge on the first invocation,
+/// reproducing the §4.3 observation that "the very first invocation of a
+/// task may overrun its specified computing time bound" due to cold caches,
+/// TLBs, and copy-on-write page faults.
+pub struct ColdStartBody<B> {
+    inner: B,
+    /// Extra work on invocation 1, as a fraction of the WCET (may push the
+    /// invocation past its bound).
+    pub surcharge: f64,
+}
+
+impl<B: TaskBody> ColdStartBody<B> {
+    /// Wraps `inner` with a first-invocation surcharge.
+    #[must_use]
+    pub fn new(inner: B, surcharge: f64) -> ColdStartBody<B> {
+        ColdStartBody { inner, surcharge }
+    }
+}
+
+impl<B: TaskBody> TaskBody for ColdStartBody<B> {
+    fn run(&mut self, invocation: u64, spec: &Task) -> Work {
+        let base = self.inner.run(invocation, spec);
+        if invocation == 1 {
+            base + spec.wcet() * self.surcharge
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Task {
+        Task::from_ms(10.0, 4.0).unwrap()
+    }
+
+    #[test]
+    fn wcet_body() {
+        assert_eq!(WcetBody.run(3, &spec()).as_ms(), 4.0);
+    }
+
+    #[test]
+    fn fraction_body_clamps() {
+        assert_eq!(FractionBody(0.5).run(1, &spec()).as_ms(), 2.0);
+        assert_eq!(FractionBody(2.0).run(1, &spec()).as_ms(), 4.0);
+        assert_eq!(FractionBody(-1.0).run(1, &spec()).as_ms(), 0.0);
+    }
+
+    #[test]
+    fn uniform_body_in_range_and_deterministic() {
+        let mut a = UniformBody::new(5);
+        let mut b = UniformBody::new(5);
+        for inv in 1..=20 {
+            let wa = a.run(inv, &spec());
+            assert_eq!(wa, b.run(inv, &spec()));
+            assert!(wa.as_ms() >= 0.0 && wa.as_ms() <= 4.0);
+        }
+    }
+
+    #[test]
+    fn closure_body() {
+        let mut body = |inv: u64, s: &Task| {
+            if inv == 1 {
+                s.wcet()
+            } else {
+                s.wcet() * 0.25
+            }
+        };
+        assert_eq!(TaskBody::run(&mut body, 1, &spec()).as_ms(), 4.0);
+        assert_eq!(TaskBody::run(&mut body, 2, &spec()).as_ms(), 1.0);
+    }
+
+    #[test]
+    fn cold_start_overruns_only_first_invocation() {
+        let mut body = ColdStartBody::new(WcetBody, 0.5);
+        // First invocation exceeds the WCET (4 + 2 = 6).
+        assert_eq!(body.run(1, &spec()).as_ms(), 6.0);
+        assert_eq!(body.run(2, &spec()).as_ms(), 4.0);
+    }
+}

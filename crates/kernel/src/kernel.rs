@@ -1,0 +1,762 @@
+//! The virtual-time RTOS kernel.
+//!
+//! Reproduces the software architecture of §4.2: a periodic real-time task
+//! layer (the "Periodic RT Task Module"), a pluggable scheduler/DVS policy
+//! module that can be swapped at run time, and a PowerNow!-style operating
+//! point setter with transition stalls. Tasks are admitted through a
+//! procfs-like handle API and the kernel advances in virtual time,
+//! scheduling task bodies and accounting energy exactly like the
+//! batch simulator — but with a *dynamic* task set.
+//!
+//! Two §4.3 observations are modeled directly:
+//!
+//! * **deferred first release** — adding a task to a tightly-scaled system
+//!   can cause transient misses, so a new task joins the task set (and the
+//!   DVS decisions) immediately, but its first release is deferred until
+//!   every current invocation has completed;
+//! * **cold-start overruns** — see [`crate::body::ColdStartBody`]; the
+//!   kernel logs any invocation that exceeds its declared bound.
+
+use core::fmt;
+use std::fmt::Write as _;
+
+use rtdvs_core::machine::{Machine, PointIdx};
+use rtdvs_core::policy::{DvsPolicy, PolicyKind};
+use rtdvs_core::task::{Task, TaskError, TaskId, TaskSet};
+use rtdvs_core::time::{Time, Work, EPS};
+use rtdvs_core::view::{InvState, SystemView, TaskView};
+use rtdvs_sim::{Activity, EnergyMeter, SwitchOverhead, Trace};
+
+use crate::body::TaskBody;
+
+/// A stand-in for "far in the future" used for deferred tasks' views.
+const FAR_FUTURE_MS: f64 = 1e15;
+
+/// Opaque handle identifying an admitted task (the file handle of the
+/// prototype's procfs interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskHandle(u64);
+
+impl TaskHandle {
+    /// Reconstructs a handle from its numeric id (as printed by
+    /// `Display`, e.g. `rt3` → `from_raw(3)`). Used by the text interface;
+    /// an id that was never issued simply fails kernel lookups.
+    #[must_use]
+    pub fn from_raw(id: u64) -> TaskHandle {
+        TaskHandle(id)
+    }
+
+    /// The numeric id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rt{}", self.0)
+    }
+}
+
+/// Events the kernel logs (timestamped in its virtual clock).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelEvent {
+    /// A task was admitted; `deferred` says its first release waits for
+    /// system quiescence.
+    Admitted {
+        /// The new task's handle.
+        handle: TaskHandle,
+        /// Whether the first release was deferred (§4.3 fix).
+        deferred: bool,
+    },
+    /// A task was removed.
+    Removed {
+        /// The removed task's handle.
+        handle: TaskHandle,
+    },
+    /// An invocation was released.
+    Released {
+        /// The task.
+        handle: TaskHandle,
+        /// 1-based invocation number.
+        invocation: u64,
+    },
+    /// An invocation completed.
+    Completed {
+        /// The task.
+        handle: TaskHandle,
+        /// 1-based invocation number.
+        invocation: u64,
+    },
+    /// An invocation was still outstanding at its deadline; the remaining
+    /// work was dropped.
+    DeadlineMiss {
+        /// The task.
+        handle: TaskHandle,
+        /// The invocation that missed.
+        invocation: u64,
+        /// Work outstanding at the deadline.
+        remaining: Work,
+    },
+    /// An invocation used more than its declared worst case (§4.3's
+    /// cold-start effect, or a buggy bound).
+    Overrun {
+        /// The task.
+        handle: TaskHandle,
+        /// The invocation that overran.
+        invocation: u64,
+        /// What it actually used.
+        used: Work,
+        /// Its declared bound.
+        bound: Work,
+    },
+    /// A new scheduler/DVS policy module was loaded.
+    PolicyLoaded {
+        /// The policy's display name.
+        name: &'static str,
+    },
+}
+
+/// Errors from the admission and lifecycle API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// The task parameters were invalid.
+    BadTask(TaskError),
+    /// Admitting the task would violate the loaded policy's deadline
+    /// guarantee (condition C1 of §2.2).
+    NotSchedulable {
+        /// Total worst-case utilization the set would have had.
+        utilization: f64,
+    },
+    /// No task with that handle exists.
+    NoSuchTask(TaskHandle),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadTask(e) => write!(f, "invalid task parameters: {e}"),
+            KernelError::NotSchedulable { utilization } => write!(
+                f,
+                "task set would not be schedulable under the loaded policy \
+                 (worst-case utilization {utilization:.3})"
+            ),
+            KernelError::NoSuchTask(h) => write!(f, "no task with handle {h}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+struct Entry {
+    handle: TaskHandle,
+    /// The scheduling spec (WCET possibly inflated by the switch-stall
+    /// budget).
+    spec: Task,
+    /// The spec as declared by the user; bodies are invoked against this
+    /// one so their demand is unaffected by overhead accounting.
+    user_spec: Task,
+    body: Box<dyn TaskBody>,
+    invocation: u64,
+    state: InvState,
+    executed: Work,
+    actual: Work,
+    deadline: Time,
+    next_release: Time,
+    deferred: bool,
+    overrun_logged: bool,
+}
+
+/// The RT-DVS kernel: periodic task runtime + pluggable policy module +
+/// DVS-capable virtual CPU.
+pub struct RtKernel {
+    machine: Machine,
+    policy: Box<dyn DvsPolicy + Send>,
+    entries: Vec<Entry>,
+    cached_set: Option<TaskSet>,
+    now: Time,
+    meter: EnergyMeter,
+    trace: Option<Trace>,
+    applied: Option<PointIdx>,
+    stall_until: Time,
+    switches: u64,
+    switch_overhead: Option<SwitchOverhead>,
+    /// When set, admission inflates every task's WCET by two worst-case
+    /// stalls (§2.5: overheads are "accounted for, and added to, the
+    /// worst-case task computation times").
+    account_switch_overhead: bool,
+    defer_new_tasks: bool,
+    log: Vec<(Time, KernelEvent)>,
+    next_handle: u64,
+}
+
+impl RtKernel {
+    /// Creates a kernel on `machine` with the given policy module loaded,
+    /// a perfect halt (idle level 0), no switch overheads, and deferred
+    /// first release enabled.
+    #[must_use]
+    pub fn new(machine: Machine, kind: PolicyKind) -> RtKernel {
+        let n_points = machine.len();
+        let mut kernel = RtKernel {
+            machine,
+            policy: kind.build(),
+            entries: Vec::new(),
+            cached_set: None,
+            now: Time::ZERO,
+            meter: EnergyMeter::new(n_points, 0.0),
+            trace: None,
+            applied: None,
+            stall_until: Time::ZERO,
+            switches: 0,
+            switch_overhead: None,
+            account_switch_overhead: false,
+            defer_new_tasks: true,
+            log: Vec::new(),
+            next_handle: 1,
+        };
+        kernel.log.push((
+            Time::ZERO,
+            KernelEvent::PolicyLoaded {
+                name: kernel.policy.name(),
+            },
+        ));
+        kernel
+    }
+
+    /// Sets the idle level (must be called before any energy accrues).
+    #[must_use]
+    pub fn with_idle_level(mut self, idle_level: f64) -> RtKernel {
+        self.meter = EnergyMeter::new(self.machine.len(), idle_level);
+        self
+    }
+
+    /// Enables voltage/frequency transition stalls. Unless
+    /// [`RtKernel::with_accounted_switch_overhead`] is used instead, the
+    /// stalls are *not* charged to the task bounds and deadline guarantees
+    /// are voided for tight task sets.
+    #[must_use]
+    pub fn with_switch_overhead(mut self, overhead: SwitchOverhead) -> RtKernel {
+        self.switch_overhead = Some(overhead);
+        self
+    }
+
+    /// Enables transition stalls *and* the §2.5 accounting rule: every
+    /// admitted task's WCET budget is inflated by two worst-case stalls
+    /// (at most two switches per invocation), so the guarantees survive
+    /// the overhead. Task bodies still see the user-declared spec.
+    #[must_use]
+    pub fn with_accounted_switch_overhead(mut self, overhead: SwitchOverhead) -> RtKernel {
+        self.switch_overhead = Some(overhead);
+        self.account_switch_overhead = true;
+        self
+    }
+
+    /// The WCET surcharge applied at admission when overhead accounting is
+    /// on: two worst-case (voltage-change) stalls.
+    #[must_use]
+    pub fn stall_budget(&self) -> Work {
+        match (self.account_switch_overhead, self.switch_overhead) {
+            (true, Some(ov)) => Work::from_ms(2.0 * ov.voltage_change.as_ms()),
+            _ => Work::ZERO,
+        }
+    }
+
+    /// Enables execution trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> RtKernel {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// Disables the deferred-first-release fix, reproducing the transient
+    /// misses §4.3 warns about.
+    #[must_use]
+    pub fn without_deferred_release(mut self) -> RtKernel {
+        self.defer_new_tasks = false;
+        self
+    }
+
+    /// The kernel's virtual clock.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The machine the kernel runs on.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Total processor energy so far.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.meter.total_energy()
+    }
+
+    /// The energy/time accounting.
+    #[must_use]
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Operating-point changes applied so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The execution trace, if recording was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The event log, in time order.
+    #[must_use]
+    pub fn log(&self) -> &[(Time, KernelEvent)] {
+        &self.log
+    }
+
+    /// All deadline misses so far.
+    pub fn misses(&self) -> impl Iterator<Item = &(Time, KernelEvent)> {
+        self.log
+            .iter()
+            .filter(|(_, e)| matches!(e, KernelEvent::DeadlineMiss { .. }))
+    }
+
+    /// The loaded policy module's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The currently applied normalized frequency.
+    #[must_use]
+    pub fn current_frequency(&self) -> f64 {
+        let idx = self.applied.unwrap_or_else(|| self.machine.lowest());
+        self.machine.point(idx).freq
+    }
+
+    /// Admits a periodic task (the prototype's "write period and computing
+    /// bound to /proc" step).
+    ///
+    /// The task joins the task set — and the DVS decisions — immediately;
+    /// with deferred release enabled its first invocation waits until every
+    /// current invocation has completed (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTask`] for invalid parameters,
+    /// [`KernelError::NotSchedulable`] if the loaded policy could not
+    /// guarantee deadlines for the enlarged set.
+    pub fn spawn(
+        &mut self,
+        period: Time,
+        wcet: Work,
+        body: Box<dyn TaskBody>,
+    ) -> Result<TaskHandle, KernelError> {
+        let user_spec = Task::new(period, wcet).map_err(KernelError::BadTask)?;
+        let spec = user_spec
+            .with_inflated_wcet(self.stall_budget())
+            .map_err(KernelError::BadTask)?;
+        let mut specs: Vec<Task> = self.entries.iter().map(|e| e.spec).collect();
+        specs.push(spec);
+        let candidate = TaskSet::new(specs).expect("at least the new task");
+        if !self.policy.guarantees(&candidate) {
+            return Err(KernelError::NotSchedulable {
+                utilization: candidate.total_utilization(),
+            });
+        }
+        let deferred =
+            self.defer_new_tasks && self.entries.iter().any(|e| e.state == InvState::Active);
+        let handle = TaskHandle(self.next_handle);
+        self.next_handle += 1;
+        self.entries.push(Entry {
+            handle,
+            spec,
+            user_spec,
+            body,
+            invocation: 0,
+            state: InvState::Inactive,
+            executed: Work::ZERO,
+            actual: Work::ZERO,
+            deadline: self.now + period,
+            next_release: self.now,
+            deferred,
+            overrun_logged: false,
+        });
+        self.log
+            .push((self.now, KernelEvent::Admitted { handle, deferred }));
+        self.rebuild_and_reinit();
+        Ok(handle)
+    }
+
+    /// Admits a polling server for aperiodic jobs (§2.2, footnote 1): a
+    /// periodic task with period `period` and budget `budget` that serves
+    /// the returned queue FIFO. Submit jobs with
+    /// [`crate::server::AperiodicServer::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RtKernel::spawn`] — the server's full budget must pass
+    /// admission.
+    pub fn spawn_polling_server(
+        &mut self,
+        period: Time,
+        budget: Work,
+    ) -> Result<(TaskHandle, crate::server::AperiodicServer), KernelError> {
+        let server = crate::server::AperiodicServer::new();
+        let handle = self.spawn(period, budget, server.body())?;
+        Ok((handle, server))
+    }
+
+    /// Removes a task. Any outstanding invocation is abandoned.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if the handle is unknown.
+    pub fn remove(&mut self, handle: TaskHandle) -> Result<(), KernelError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.handle == handle)
+            .ok_or(KernelError::NoSuchTask(handle))?;
+        self.entries.remove(idx);
+        self.log.push((self.now, KernelEvent::Removed { handle }));
+        self.rebuild_and_reinit();
+        Ok(())
+    }
+
+    /// Swaps the scheduler/DVS policy module without stopping the running
+    /// tasks. During the swap no policy is loaded (§4.2 notes timeliness is
+    /// not guaranteed across the window); here the swap is atomic in
+    /// virtual time, so guarantees resume immediately.
+    pub fn load_policy(&mut self, kind: PolicyKind) {
+        self.policy = kind.build();
+        self.log.push((
+            self.now,
+            KernelEvent::PolicyLoaded {
+                name: self.policy.name(),
+            },
+        ));
+        self.rebuild_and_reinit();
+    }
+
+    /// Rebuilds the positional task set and conservatively re-seeds the
+    /// policy: init with the new set, then a synthetic release callback for
+    /// every in-flight invocation so stateful policies (ccRM) rebuild their
+    /// pacing allotments from the real remaining work.
+    fn rebuild_and_reinit(&mut self) {
+        self.cached_set = if self.entries.is_empty() {
+            None
+        } else {
+            Some(
+                TaskSet::new(self.entries.iter().map(|e| e.spec).collect())
+                    .expect("non-empty entries"),
+            )
+        };
+        if let Some(set) = &self.cached_set {
+            self.policy.init(set, &self.machine);
+            let views = self.views();
+            for i in 0..self.entries.len() {
+                if self.entries[i].state == InvState::Active {
+                    let sys = SystemView {
+                        now: self.now,
+                        tasks: set,
+                        machine: &self.machine,
+                        views: &views,
+                    };
+                    self.policy.on_release(TaskId(i), &sys);
+                }
+            }
+        }
+    }
+
+    fn views(&self) -> Vec<TaskView> {
+        self.entries
+            .iter()
+            .map(|e| {
+                if e.deferred {
+                    TaskView {
+                        invocation: 0,
+                        state: InvState::Inactive,
+                        executed: Work::ZERO,
+                        deadline: Time::from_ms(FAR_FUTURE_MS),
+                        next_release: Time::from_ms(FAR_FUTURE_MS),
+                    }
+                } else {
+                    TaskView {
+                        invocation: e.invocation,
+                        state: e.state,
+                        executed: e.executed,
+                        deadline: e.deadline,
+                        next_release: e.next_release,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn notify(&mut self, idx: usize, is_release: bool) {
+        let Some(set) = &self.cached_set else { return };
+        let views = self.views();
+        let sys = SystemView {
+            now: self.now,
+            tasks: set,
+            machine: &self.machine,
+            views: &views,
+        };
+        if is_release {
+            self.policy.on_release(TaskId(idx), &sys);
+        } else {
+            self.policy.on_completion(TaskId(idx), &sys);
+        }
+    }
+
+    fn remaining(&self, idx: usize) -> Work {
+        (self.entries[idx].actual - self.entries[idx].executed).clamp_non_negative()
+    }
+
+    fn complete(&mut self, idx: usize) {
+        let now = self.now;
+        let e = &mut self.entries[idx];
+        e.executed = e.actual;
+        e.state = InvState::Completed;
+        e.body.on_invocation_complete(e.invocation, now);
+        if e.actual.as_ms() > e.user_spec.wcet().as_ms() + EPS && !e.overrun_logged {
+            e.overrun_logged = true;
+            let ev = KernelEvent::Overrun {
+                handle: e.handle,
+                invocation: e.invocation,
+                used: e.actual,
+                bound: e.user_spec.wcet(),
+            };
+            self.log.push((self.now, ev));
+        }
+        let ev = KernelEvent::Completed {
+            handle: self.entries[idx].handle,
+            invocation: self.entries[idx].invocation,
+        };
+        self.log.push((self.now, ev));
+        self.notify(idx, false);
+    }
+
+    fn release(&mut self, idx: usize) {
+        let period = self.entries[idx].spec.period();
+        if self.entries[idx].state == InvState::Active {
+            let ev = KernelEvent::DeadlineMiss {
+                handle: self.entries[idx].handle,
+                invocation: self.entries[idx].invocation,
+                remaining: self.remaining(idx),
+            };
+            self.log.push((self.now, ev));
+        }
+        let e = &mut self.entries[idx];
+        e.invocation += 1;
+        e.state = InvState::Active;
+        e.executed = Work::ZERO;
+        e.deadline = e.next_release + period;
+        e.next_release += period;
+        e.overrun_logged = false;
+        let inv = e.invocation;
+        e.actual = e.body.run(inv, &e.user_spec).max(Work::ZERO);
+        let ev = KernelEvent::Released {
+            handle: self.entries[idx].handle,
+            invocation: inv,
+        };
+        self.log.push((self.now, ev));
+        self.notify(idx, true);
+    }
+
+    fn process_due_events(&mut self) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.entries.len() {
+                if self.entries[i].state == InvState::Active && !self.remaining(i).is_positive() {
+                    self.complete(i);
+                    progressed = true;
+                }
+            }
+            // Deferred tasks release once nothing is in flight (§4.3: "the
+            // effects of past DVS decisions, based on the old task set,
+            // will have expired").
+            if !self.entries.iter().any(|e| e.state == InvState::Active)
+                && self.entries.iter().any(|e| e.deferred)
+            {
+                for e in &mut self.entries {
+                    if e.deferred {
+                        e.deferred = false;
+                        e.next_release = self.now;
+                        e.deadline = self.now + e.spec.period();
+                    }
+                }
+                progressed = true;
+            }
+            for i in 0..self.entries.len() {
+                if !self.entries[i].deferred && self.entries[i].next_release.at_or_before(self.now)
+                {
+                    self.release(i);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn apply_point(&mut self, desired: PointIdx) {
+        if self.applied == Some(desired) {
+            return;
+        }
+        if let Some(prev) = self.applied {
+            self.switches += 1;
+            let voltage_changed =
+                (self.machine.point(prev).volts - self.machine.point(desired).volts).abs() > EPS;
+            if let Some(ov) = self.switch_overhead {
+                self.stall_until = self.now
+                    + if voltage_changed {
+                        ov.voltage_change
+                    } else {
+                        ov.freq_only
+                    };
+            }
+        }
+        self.applied = Some(desired);
+    }
+
+    /// Advances the kernel's virtual clock to `t`, running tasks and
+    /// charging energy along the way. Returns immediately if `t` is not in
+    /// the future.
+    pub fn run_until(&mut self, t: Time) {
+        while self.now.definitely_before(t) {
+            self.process_due_events();
+
+            // Grant any due policy review (see `DvsPolicy::review_at`).
+            if let Some(review) = self.policy.review_at() {
+                if review.at_or_before(self.now) {
+                    if let Some(set) = &self.cached_set {
+                        let views = self.views();
+                        let sys = SystemView {
+                            now: self.now,
+                            tasks: set,
+                            machine: &self.machine,
+                            views: &views,
+                        };
+                        self.policy.on_review(&sys);
+                    }
+                }
+            }
+
+            let ready: Vec<(TaskId, Time)> = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| e.state == InvState::Active && self.remaining(*i).is_positive())
+                .map(|(i, e)| (TaskId(i), e.deadline))
+                .collect();
+            let running = match &self.cached_set {
+                Some(set) => self.policy.scheduler().pick_next(set, &ready),
+                None => None,
+            };
+            let desired = if running.is_some() {
+                self.policy.current_point()
+            } else if self.cached_set.is_some() {
+                self.policy.idle_point(&self.machine)
+            } else {
+                // Empty kernel: sleep at the bottom of the ladder.
+                self.machine.lowest()
+            };
+            self.apply_point(desired);
+            let op = self.machine.point(desired);
+
+            let mut t_next = t;
+            for e in &self.entries {
+                if !e.deferred {
+                    t_next = t_next.min(e.next_release.max(self.now));
+                }
+            }
+            if let Some(id) = running {
+                let exec_start = self.now.max(self.stall_until);
+                t_next = t_next.min(exec_start + self.remaining(id.0).duration_at(op.freq));
+            }
+            if let Some(review) = self.policy.review_at() {
+                if review.definitely_before(t_next) && self.now.definitely_before(review) {
+                    t_next = review;
+                }
+            }
+            t_next = t_next.min(t).max(self.now);
+
+            let stall_end = self.stall_until.min(t_next).max(self.now);
+            if stall_end > self.now {
+                self.meter.charge_stall(stall_end - self.now);
+                if let Some(tr) = &mut self.trace {
+                    tr.push(self.now, stall_end, desired, Activity::Stall);
+                }
+            }
+            if t_next > stall_end {
+                let d = t_next - stall_end;
+                match running {
+                    Some(id) => {
+                        self.meter.charge_busy(&self.machine, desired, d);
+                        self.entries[id.0].executed += d.work_at(op.freq);
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(stall_end, t_next, desired, Activity::Run(id));
+                        }
+                    }
+                    None => {
+                        self.meter.charge_idle(&self.machine, desired, d);
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(stall_end, t_next, desired, Activity::Idle);
+                        }
+                    }
+                }
+            }
+            self.now = t_next;
+        }
+        self.process_due_events();
+    }
+
+    /// Advances the virtual clock by `d`.
+    pub fn run_for(&mut self, d: Time) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// A human-readable status dump, in the spirit of
+    /// `cat /proc/rtdvs` on the prototype.
+    #[must_use]
+    pub fn status(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "rtdvs: t={:.3}ms policy={} freq={:.3} energy={:.3}",
+            self.now.as_ms(),
+            self.policy.name(),
+            self.current_frequency(),
+            self.energy(),
+        );
+        for e in &self.entries {
+            let state = match (e.deferred, e.state) {
+                (true, _) => "deferred",
+                (false, InvState::Inactive) => "inactive",
+                (false, InvState::Active) => "active",
+                (false, InvState::Completed) => "waiting",
+            };
+            let _ = writeln!(
+                s,
+                "  {}: P={:.3}ms C={:.3}ms inv={} state={} exec={:.3} deadline={:.3}ms",
+                e.handle,
+                e.spec.period().as_ms(),
+                e.spec.wcet().as_ms(),
+                e.invocation,
+                state,
+                e.executed.as_ms(),
+                e.deadline.as_ms(),
+            );
+        }
+        s
+    }
+}

@@ -1,0 +1,235 @@
+//! The prototype's procfs-style text interface (§4.2).
+//!
+//! On the paper's Linux prototype, "tasks can use ordinary file read and
+//! write mechanisms to interact with our modules": a task writes its
+//! period and computing bound to register, writes again to signal each
+//! completion, and `cat` on the module file returns status "in a human
+//! readable form". This module reproduces that control surface as a text
+//! protocol over [`RtKernel`], which makes the kernel scriptable from
+//! tests, REPLs, and the CLI without touching the typed API.
+//!
+//! Commands (one per line):
+//!
+//! ```text
+//! register <period_ms> <wcet_ms> <fraction>   -> "ok rtN"
+//! remove <handle>                             -> "ok"
+//! policy <name>                               -> "ok <name>"
+//! run <ms>                                    -> "ok t=<now>"
+//! status                                      -> the status dump
+//! energy                                      -> "<joule-units>"
+//! misses                                      -> "<count>"
+//! frequency                                   -> "<normalized freq>"
+//! ```
+//!
+//! `<fraction>` gives the registered task's actual per-invocation demand
+//! as a fraction of its bound (the text protocol cannot carry closures).
+
+use rtdvs_core::analysis::RmTest;
+use rtdvs_core::policy::PolicyKind;
+use rtdvs_core::sched::SchedulerKind;
+use rtdvs_core::time::{Time, Work};
+
+use crate::body::FractionBody;
+use crate::kernel::{RtKernel, TaskHandle};
+
+/// Parses a policy module name as used by the prototype's module loader.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names.
+pub fn parse_policy_name(name: &str) -> Result<PolicyKind, String> {
+    match name {
+        "edf" => Ok(PolicyKind::PlainEdf),
+        "rm" => Ok(PolicyKind::PlainRm),
+        "static-edf" => Ok(PolicyKind::StaticEdf),
+        "static-rm" => Ok(PolicyKind::StaticRm(RmTest::default())),
+        "cc-edf" => Ok(PolicyKind::CcEdf),
+        "cc-rm" => Ok(PolicyKind::CcRm(RmTest::default())),
+        "la-edf" => Ok(PolicyKind::LaEdf),
+        "interval" => Ok(PolicyKind::Interval),
+        other => {
+            if let Some(c) = other.strip_prefix("stoch-edf=") {
+                let confidence: f64 = c.parse().map_err(|_| format!("bad confidence {c:?}"))?;
+                if confidence > 0.0 && confidence <= 1.0 {
+                    return Ok(PolicyKind::StochasticEdf { confidence });
+                }
+                return Err(format!("confidence {confidence} outside (0, 1]"));
+            }
+            if let Some(p) = other.strip_prefix("manual-edf=") {
+                let point: usize = p.parse().map_err(|_| format!("bad point {p:?}"))?;
+                return Ok(PolicyKind::Manual {
+                    scheduler: SchedulerKind::Edf,
+                    point,
+                });
+            }
+            Err(format!("unknown policy {other:?}"))
+        }
+    }
+}
+
+/// Executes one text command against the kernel, returning the reply line
+/// (or an `err: …` line; the interface never panics on user input).
+pub fn execute(kernel: &mut RtKernel, line: &str) -> String {
+    match try_execute(kernel, line) {
+        Ok(reply) => reply,
+        Err(msg) => format!("err: {msg}"),
+    }
+}
+
+/// Executes a whole script (one command per line, `#` comments allowed),
+/// returning one reply per executed command.
+pub fn execute_script(kernel: &mut RtKernel, script: &str) -> Vec<String> {
+    script
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| execute(kernel, l))
+        .collect()
+}
+
+fn parse_handle(token: &str) -> Result<TaskHandle, String> {
+    token
+        .strip_prefix("rt")
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(TaskHandle::from_raw)
+        .ok_or_else(|| format!("bad handle {token:?}"))
+}
+
+fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().ok_or("empty command")?;
+    let rest: Vec<&str> = parts.collect();
+    match (cmd, rest.as_slice()) {
+        ("register", [period, wcet, fraction]) => {
+            let period: f64 = period.parse().map_err(|_| "bad period")?;
+            let wcet: f64 = wcet.parse().map_err(|_| "bad wcet")?;
+            let fraction: f64 = fraction.parse().map_err(|_| "bad fraction")?;
+            let handle = kernel
+                .spawn(
+                    Time::from_ms(period),
+                    Work::from_ms(wcet),
+                    Box::new(FractionBody(fraction)),
+                )
+                .map_err(|e| e.to_string())?;
+            Ok(format!("ok {handle}"))
+        }
+        ("remove", [handle]) => {
+            kernel
+                .remove(parse_handle(handle)?)
+                .map_err(|e| e.to_string())?;
+            Ok("ok".to_owned())
+        }
+        ("policy", [name]) => {
+            let kind = parse_policy_name(name)?;
+            kernel.load_policy(kind);
+            Ok(format!("ok {}", kernel.policy_name()))
+        }
+        ("run", [ms]) => {
+            let ms: f64 = ms.parse().map_err(|_| "bad duration")?;
+            if ms <= 0.0 {
+                return Err("duration must be positive".to_owned());
+            }
+            kernel.run_for(Time::from_ms(ms));
+            Ok(format!("ok t={:.3}", kernel.now().as_ms()))
+        }
+        ("status", []) => Ok(kernel.status()),
+        ("energy", []) => Ok(format!("{:.6}", kernel.energy())),
+        ("misses", []) => Ok(format!("{}", kernel.misses().count())),
+        ("frequency", []) => Ok(format!("{:.3}", kernel.current_frequency())),
+        _ => Err(format!("unknown command {line:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdvs_core::machine::Machine;
+
+    fn kernel() -> RtKernel {
+        RtKernel::new(Machine::machine0(), PolicyKind::PlainEdf)
+    }
+
+    #[test]
+    fn register_run_and_read_back() {
+        let mut k = kernel();
+        assert_eq!(execute(&mut k, "register 10 3 0.9"), "ok rt1");
+        assert_eq!(execute(&mut k, "register 20 4 0.5"), "ok rt2");
+        assert_eq!(execute(&mut k, "run 100"), "ok t=100.000");
+        assert_eq!(execute(&mut k, "misses"), "0");
+        let status = execute(&mut k, "status");
+        assert!(status.contains("rt1"));
+        assert!(status.contains("rt2"));
+        let energy: f64 = execute(&mut k, "energy").parse().unwrap();
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn policy_swap_via_text() {
+        let mut k = kernel();
+        execute(&mut k, "register 10 3 0.9");
+        assert_eq!(execute(&mut k, "policy la-edf"), "ok laEDF");
+        execute(&mut k, "run 50");
+        let f: f64 = execute(&mut k, "frequency").parse().unwrap();
+        assert!(f < 1.0, "laEDF should have scaled down, got {f}");
+        assert_eq!(execute(&mut k, "policy stoch-edf=0.9"), "ok stochEDF");
+    }
+
+    #[test]
+    fn remove_via_text() {
+        let mut k = kernel();
+        execute(&mut k, "register 10 9 1.0");
+        assert!(execute(&mut k, "register 10 9 1.0").starts_with("err:"));
+        assert_eq!(execute(&mut k, "remove rt1"), "ok");
+        assert_eq!(execute(&mut k, "register 10 9 1.0"), "ok rt2");
+        assert!(execute(&mut k, "remove rt1").starts_with("err:"));
+        assert!(execute(&mut k, "remove bogus").starts_with("err:"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut k = kernel();
+        assert!(execute(&mut k, "").starts_with("err:"));
+        assert!(execute(&mut k, "frobnicate").starts_with("err:"));
+        assert!(execute(&mut k, "register ten three 0.5").starts_with("err:"));
+        assert!(execute(&mut k, "run -5").starts_with("err:"));
+        assert!(execute(&mut k, "policy nonsense").starts_with("err:"));
+        assert!(execute(&mut k, "policy stoch-edf=2.0").starts_with("err:"));
+    }
+
+    #[test]
+    fn scripts_run_line_by_line() {
+        let mut k = kernel();
+        let replies = execute_script(
+            &mut k,
+            "# bring up a small system\n\
+             register 8 3 0.7\n\
+             register 14 1 0.7   # low-rate task\n\
+             policy cc-edf\n\
+             run 160\n\
+             misses\n",
+        );
+        assert_eq!(replies.len(), 5);
+        assert_eq!(replies[0], "ok rt1");
+        assert_eq!(replies[2], "ok ccEDF");
+        assert_eq!(replies[4], "0");
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for name in [
+            "edf",
+            "rm",
+            "static-edf",
+            "static-rm",
+            "cc-edf",
+            "cc-rm",
+            "la-edf",
+            "interval",
+            "stoch-edf=0.5",
+            "manual-edf=1",
+        ] {
+            assert!(parse_policy_name(name).is_ok(), "{name}");
+        }
+        assert!(parse_policy_name("pace").is_err());
+    }
+}

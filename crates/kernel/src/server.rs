@@ -1,0 +1,275 @@
+//! Polling server for aperiodic and sporadic work (§2.2, footnote 1).
+//!
+//! The paper's task model is strictly periodic, but it notes that
+//! "aperiodic and sporadic tasks can be handled by a periodic or deferred
+//! server, (and) for non-real-time tasks, too, we can provision processor
+//! time using a similar periodic server approach". This module implements
+//! the classic *polling server*: a periodic task with period `P_s` and
+//! budget `C_s` (its WCET) that, at each release, serves queued aperiodic
+//! jobs FIFO for up to `C_s` of work; if the queue is empty at a release
+//! the budget for that period is forfeited.
+//!
+//! Because the server is an ordinary periodic task to the kernel, it
+//! composes transparently with every RT-DVS policy: admission accounts its
+//! full budget, the DVS algorithms reclaim whatever budget a period does
+//! not use (a release with a short queue simply "completes early"), and
+//! the hard guarantees of the periodic tasks are untouched.
+//!
+//! A job of work `w ≤ C_s` submitted at time `t` completes within
+//! `ceil(w / C_s) + 1` server periods of `t` under light load, the
+//! standard polling-server response bound.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use rtdvs_core::task::Task;
+use rtdvs_core::time::{Time, Work};
+
+use crate::body::TaskBody;
+
+/// Identifier of a submitted aperiodic job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+/// A finished aperiodic job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedJob {
+    /// The job.
+    pub id: JobId,
+    /// When it was submitted.
+    pub arrival: Time,
+    /// When the server invocation that finished it completed.
+    pub completed: Time,
+    /// Total work it required.
+    pub work: Work,
+}
+
+impl CompletedJob {
+    /// The job's response time.
+    #[must_use]
+    pub fn response_time(&self) -> Time {
+        self.completed - self.arrival
+    }
+}
+
+#[derive(Debug)]
+struct PendingJob {
+    id: JobId,
+    arrival: Time,
+    total: Work,
+    remaining: Work,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    queue: VecDeque<PendingJob>,
+    /// Jobs fully served by the in-flight invocation, waiting for its
+    /// completion timestamp.
+    finishing: Vec<PendingJob>,
+    completed: Vec<CompletedJob>,
+    next_id: u64,
+    served: Work,
+    forfeited_releases: u64,
+}
+
+/// Handle for submitting aperiodic jobs and collecting results. Clone it
+/// freely; all clones share the same queue.
+#[derive(Debug, Clone, Default)]
+pub struct AperiodicServer {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl AperiodicServer {
+    /// Creates an empty server queue.
+    #[must_use]
+    pub fn new() -> AperiodicServer {
+        AperiodicServer::default()
+    }
+
+    /// The [`TaskBody`] to spawn as the server's periodic task. The task's
+    /// WCET is the server budget `C_s`.
+    #[must_use]
+    pub fn body(&self) -> Box<dyn TaskBody> {
+        Box::new(ServerBody {
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Submits an aperiodic job of `work` at time `now` (use
+    /// `kernel.now()`); returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is not strictly positive.
+    pub fn submit(&self, work: Work, now: Time) -> JobId {
+        assert!(work.is_positive(), "aperiodic job needs positive work");
+        let mut s = self.shared.lock().expect("server lock");
+        let id = JobId(s.next_id);
+        s.next_id += 1;
+        s.queue.push_back(PendingJob {
+            id,
+            arrival: now,
+            total: work,
+            remaining: work,
+        });
+        id
+    }
+
+    /// Jobs waiting (fully or partially) to be served.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        let s = self.shared.lock().expect("server lock");
+        s.queue.len() + s.finishing.len()
+    }
+
+    /// Drains and returns all completed jobs.
+    #[must_use]
+    pub fn take_completed(&self) -> Vec<CompletedJob> {
+        std::mem::take(&mut self.shared.lock().expect("server lock").completed)
+    }
+
+    /// Total aperiodic work served so far.
+    #[must_use]
+    pub fn total_served(&self) -> Work {
+        self.shared.lock().expect("server lock").served
+    }
+
+    /// Releases at which the queue was empty and the budget was forfeited
+    /// (the defining behavior of a *polling* server).
+    #[must_use]
+    pub fn forfeited_releases(&self) -> u64 {
+        self.shared.lock().expect("server lock").forfeited_releases
+    }
+}
+
+struct ServerBody {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl TaskBody for ServerBody {
+    fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
+        let mut s = self.shared.lock().expect("server lock");
+        let budget = spec.wcet();
+        let mut used = Work::ZERO;
+        if s.queue.is_empty() {
+            s.forfeited_releases += 1;
+            return Work::ZERO;
+        }
+        while let Some(front) = s.queue.front_mut() {
+            let room = (budget - used).clamp_non_negative();
+            if !room.is_positive() {
+                break;
+            }
+            let slice = front.remaining.min(room);
+            front.remaining = (front.remaining - slice).clamp_non_negative();
+            used += slice;
+            if front.remaining.is_positive() {
+                break;
+            }
+            let job = s.queue.pop_front().expect("front exists");
+            s.finishing.push(job);
+        }
+        s.served += used;
+        used
+    }
+
+    fn on_invocation_complete(&mut self, _invocation: u64, now: Time) {
+        let mut s = self.shared.lock().expect("server lock");
+        let done: Vec<CompletedJob> = s
+            .finishing
+            .drain(..)
+            .map(|j| CompletedJob {
+                id: j.id,
+                arrival: j.arrival,
+                completed: now,
+                work: j.total,
+            })
+            .collect();
+        s.completed.extend(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Task {
+        Task::from_ms(10.0, 2.0).unwrap()
+    }
+
+    fn t(ms: f64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn w(ms: f64) -> Work {
+        Work::from_ms(ms)
+    }
+
+    #[test]
+    fn empty_queue_forfeits_budget() {
+        let server = AperiodicServer::new();
+        let mut body = server.body();
+        assert_eq!(body.run(1, &spec()), Work::ZERO);
+        assert_eq!(server.forfeited_releases(), 1);
+    }
+
+    #[test]
+    fn small_job_served_in_one_period() {
+        let server = AperiodicServer::new();
+        let mut body = server.body();
+        let id = server.submit(w(1.5), t(0.0));
+        assert_eq!(server.pending(), 1);
+        assert_eq!(body.run(1, &spec()).as_ms(), 1.5);
+        body.on_invocation_complete(1, t(3.0));
+        let done = server.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert!(done[0].response_time().approx_eq(t(3.0)));
+        assert_eq!(server.pending(), 0);
+    }
+
+    #[test]
+    fn large_job_spans_periods() {
+        let server = AperiodicServer::new();
+        let mut body = server.body();
+        server.submit(w(5.0), t(0.0));
+        // Three periods: 2 + 2 + 1.
+        assert_eq!(body.run(1, &spec()).as_ms(), 2.0);
+        body.on_invocation_complete(1, t(2.0));
+        assert!(server.take_completed().is_empty());
+        assert_eq!(body.run(2, &spec()).as_ms(), 2.0);
+        body.on_invocation_complete(2, t(12.0));
+        assert_eq!(body.run(3, &spec()).as_ms(), 1.0);
+        body.on_invocation_complete(3, t(21.0));
+        let done = server.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed, t(21.0));
+        assert!(server.total_served().approx_eq(w(5.0)));
+    }
+
+    #[test]
+    fn fifo_order_and_batching() {
+        let server = AperiodicServer::new();
+        let mut body = server.body();
+        let a = server.submit(w(0.5), t(0.0));
+        let b = server.submit(w(1.0), t(0.1));
+        let c = server.submit(w(1.0), t(0.2));
+        // Budget 2: a and b finish, c gets 0.5 of service.
+        assert_eq!(body.run(1, &spec()).as_ms(), 2.0);
+        body.on_invocation_complete(1, t(4.0));
+        let done = server.take_completed();
+        assert_eq!(done.iter().map(|j| j.id).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(server.pending(), 1);
+        // Next period finishes c.
+        assert_eq!(body.run(2, &spec()).as_ms(), 0.5);
+        body.on_invocation_complete(2, t(11.0));
+        assert_eq!(server.take_completed()[0].id, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive work")]
+    fn rejects_empty_jobs() {
+        let server = AperiodicServer::new();
+        let _ = server.submit(Work::ZERO, t(0.0));
+    }
+}

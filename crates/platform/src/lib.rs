@@ -1,0 +1,35 @@
+//! # rtdvs-platform
+//!
+//! Hardware platform models for the RT-DVS prototype (§4 of Pillai & Shin,
+//! SOSP 2001): the AMD K6-2+ with PowerNow! ([`powernow`]), the HP N3350
+//! whole-system power envelope of Table 1 ([`system_power`]), and an
+//! oscilloscope-style windowed power probe ([`probe`]).
+//!
+//! # Examples
+//!
+//! Turning the prototype CPU into a simulator machine with its measured
+//! switch overheads:
+//!
+//! ```
+//! use rtdvs_platform::PowerNowCpu;
+//!
+//! let cpu = PowerNowCpu::k6_2_plus_550();
+//! let machine = cpu.machine()?;
+//! assert_eq!(machine.len(), 7);
+//! let overhead = cpu.switch_overhead();
+//! assert!(overhead.voltage_change > overhead.freq_only);
+//! # Ok::<(), rtdvs_core::machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod powernow;
+pub mod presets;
+pub mod probe;
+pub mod system_power;
+
+pub use powernow::{PowerNowCpu, STOP_INTERVAL_UNIT_US};
+pub use presets::{all_machines, crusoe_tm5400, xscale_80200};
+pub use probe::{energy_in_window, mean_power_in_window, PowerProbe};
+pub use system_power::SystemPowerModel;

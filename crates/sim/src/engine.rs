@@ -1,0 +1,771 @@
+//! The discrete-event simulation engine.
+//!
+//! Mirrors the paper's simulator (§3.1): task execution reduces to counting
+//! cycles, so the engine only needs events at task releases and completions
+//! (plus the end of the horizon). Between consecutive events the processor
+//! state is constant — one task running at one operating point, or halted —
+//! so energy is charged per interval in closed form.
+//!
+//! The engine drives any [`DvsPolicy`]: policies are called exactly at
+//! releases and completions (the paper's "at most 2 switches per task per
+//! invocation"), the scheduler priority rule picks the running task, and
+//! while the ready queue is empty the processor halts at the policy's idle
+//! point.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtdvs_core::machine::{Machine, PointIdx};
+use rtdvs_core::policy::{DvsPolicy, PolicyKind};
+use rtdvs_core::task::{TaskId, TaskSet};
+use rtdvs_core::time::{Time, Work, EPS};
+use rtdvs_core::view::{InvState, SystemView, TaskView};
+
+use crate::config::{MissPolicy, SimConfig};
+use crate::energy::EnergyMeter;
+use crate::report::{DeadlineMiss, SimReport, TaskStats};
+use crate::trace::{Activity, Trace};
+
+/// Runs `kind` on `tasks`/`machine` under `cfg`.
+///
+/// Convenience wrapper over [`simulate_with`] that instantiates the policy.
+#[must_use]
+pub fn simulate(
+    tasks: &TaskSet,
+    machine: &Machine,
+    kind: PolicyKind,
+    cfg: &SimConfig,
+) -> SimReport {
+    let mut policy = kind.build();
+    simulate_with(tasks, machine, policy.as_mut(), cfg)
+}
+
+/// Runs an already-constructed policy on `tasks`/`machine` under `cfg`.
+///
+/// The policy is re-initialized ([`DvsPolicy::init`]) before the run, so a
+/// policy instance can be reused across runs.
+///
+/// # Panics
+///
+/// Panics if `cfg.duration` is not strictly positive.
+#[must_use]
+pub fn simulate_with(
+    tasks: &TaskSet,
+    machine: &Machine,
+    policy: &mut dyn DvsPolicy,
+    cfg: &SimConfig,
+) -> SimReport {
+    Engine::new(tasks, machine, policy, cfg).run()
+}
+
+/// Per-task runtime state.
+#[derive(Debug, Clone)]
+struct TaskRt {
+    invocation: u64,
+    state: InvState,
+    executed: Work,
+    actual: Work,
+    deadline: Time,
+    next_release: Time,
+}
+
+struct Engine<'a> {
+    tasks: &'a TaskSet,
+    machine: &'a Machine,
+    policy: &'a mut dyn DvsPolicy,
+    cfg: &'a SimConfig,
+    now: Time,
+    rt: Vec<TaskRt>,
+    meter: EnergyMeter,
+    rng: StdRng,
+    trace: Option<Trace>,
+    /// The operating point currently applied to the hardware; `None` until
+    /// the first interval begins.
+    applied: Option<PointIdx>,
+    /// Execution is blocked until this instant by a transition stall.
+    stall_until: Time,
+    switches: u64,
+    voltage_switches: u64,
+    misses: Vec<DeadlineMiss>,
+    stats: Vec<TaskStats>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        tasks: &'a TaskSet,
+        machine: &'a Machine,
+        policy: &'a mut dyn DvsPolicy,
+        cfg: &'a SimConfig,
+    ) -> Engine<'a> {
+        assert!(
+            cfg.duration.as_ms() > 0.0,
+            "simulation duration must be positive"
+        );
+        let rt = tasks
+            .tasks()
+            .iter()
+            .map(|t| TaskRt {
+                invocation: 0,
+                state: InvState::Inactive,
+                executed: Work::ZERO,
+                actual: Work::ZERO,
+                deadline: t.offset() + t.period(),
+                next_release: t.offset(),
+            })
+            .collect();
+        Engine {
+            tasks,
+            machine,
+            policy,
+            cfg,
+            now: Time::ZERO,
+            rt,
+            meter: EnergyMeter::new(machine.len(), cfg.idle_level),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            trace: cfg.record_trace.then(Trace::new),
+            applied: None,
+            stall_until: Time::ZERO,
+            switches: 0,
+            voltage_switches: 0,
+            misses: Vec::new(),
+            stats: vec![TaskStats::default(); tasks.len()],
+        }
+    }
+
+    fn views(&self) -> Vec<TaskView> {
+        self.rt
+            .iter()
+            .map(|s| TaskView {
+                invocation: s.invocation,
+                state: s.state,
+                executed: s.executed,
+                deadline: s.deadline,
+                next_release: s.next_release,
+            })
+            .collect()
+    }
+
+    /// Calls a policy callback with a fresh system view.
+    fn notify(&mut self, id: TaskId, is_release: bool) {
+        let views = self.views();
+        let sys = SystemView {
+            now: self.now,
+            tasks: self.tasks,
+            machine: self.machine,
+            views: &views,
+        };
+        if is_release {
+            self.policy.on_release(id, &sys);
+        } else {
+            self.policy.on_completion(id, &sys);
+        }
+    }
+
+    fn remaining(&self, i: usize) -> Work {
+        (self.rt[i].actual - self.rt[i].executed).clamp_non_negative()
+    }
+
+    fn complete(&mut self, i: usize) {
+        self.rt[i].executed = self.rt[i].actual;
+        self.rt[i].state = InvState::Completed;
+        self.stats[i].record_completion(self.rt[i].deadline - self.now);
+        self.notify(TaskId(i), false);
+    }
+
+    /// The gap from one release to the next under the configured arrival
+    /// model.
+    fn inter_arrival(&mut self, i: usize) -> Time {
+        let period = self.tasks.task(TaskId(i)).period();
+        match self.cfg.arrival {
+            crate::config::ArrivalModel::Periodic => period,
+            crate::config::ArrivalModel::Sporadic { max_extra_fraction } => {
+                use rand::RngExt as _;
+                debug_assert!(max_extra_fraction >= 0.0);
+                let extra: f64 = self.rng.random_range(0.0..=max_extra_fraction.max(0.0));
+                period + period * extra
+            }
+        }
+    }
+
+    /// Handles an invocation still outstanding at its deadline.
+    fn handle_deadline_miss(&mut self, i: usize) {
+        self.misses.push(DeadlineMiss {
+            task: TaskId(i),
+            deadline: self.rt[i].deadline,
+            invocation: self.rt[i].invocation,
+            remaining: self.remaining(i),
+        });
+        let period = self.tasks.task(TaskId(i)).period();
+        match self.cfg.miss_policy {
+            MissPolicy::DropRemaining => {
+                // Abandon the leftover work; the task waits for its next
+                // release.
+                let rt = &mut self.rt[i];
+                rt.actual = rt.executed;
+                rt.state = InvState::Completed;
+            }
+            MissPolicy::SkipRelease => {
+                // Let the old invocation overrun into the next period; its
+                // next release is skipped entirely.
+                self.rt[i].deadline += period;
+                self.rt[i].next_release += period;
+            }
+        }
+    }
+
+    fn release(&mut self, i: usize) {
+        let period = self.tasks.task(TaskId(i)).period();
+        let gap = self.inter_arrival(i);
+        let rt = &mut self.rt[i];
+        debug_assert!(
+            rt.state != InvState::Active,
+            "deadline processing precedes releases"
+        );
+        rt.invocation += 1;
+        rt.state = InvState::Active;
+        rt.executed = Work::ZERO;
+        rt.deadline = rt.next_release + period;
+        rt.next_release += gap;
+        rt.actual = self.cfg.exec.sample(
+            TaskId(i),
+            self.tasks.task(TaskId(i)),
+            rt.invocation,
+            &mut self.rng,
+        );
+        self.stats[i].releases += 1;
+        self.notify(TaskId(i), true);
+    }
+
+    /// Processes every event due at the current instant: completions first
+    /// (a task finishing exactly at its deadline meets it), then deadline
+    /// misses, then releases, repeating until quiescent (a release with
+    /// zero actual work completes immediately).
+    fn process_due_events(&mut self, releases_allowed: bool) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.rt.len() {
+                if self.rt[i].state == InvState::Active && !self.remaining(i).is_positive() {
+                    self.complete(i);
+                    progressed = true;
+                }
+            }
+            for i in 0..self.rt.len() {
+                if self.rt[i].state == InvState::Active
+                    && self.rt[i].deadline.at_or_before(self.now)
+                {
+                    self.handle_deadline_miss(i);
+                    progressed = true;
+                }
+            }
+            if releases_allowed {
+                for i in 0..self.rt.len() {
+                    if self.rt[i].state != InvState::Active
+                        && self.rt[i].next_release.at_or_before(self.now)
+                    {
+                        self.release(i);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// The ready queue: active tasks with work left, tagged with their
+    /// deadlines for the scheduler.
+    fn ready(&self) -> Vec<(TaskId, Time)> {
+        self.rt
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.state == InvState::Active && self.remaining(*i).is_positive())
+            .map(|(i, s)| (TaskId(i), s.deadline))
+            .collect()
+    }
+
+    /// Applies `desired` to the hardware, accounting a switch (and a stall,
+    /// if configured) when it differs from the current point.
+    fn apply_point(&mut self, desired: PointIdx) {
+        if self.applied == Some(desired) {
+            return;
+        }
+        if let Some(prev) = self.applied {
+            self.switches += 1;
+            let dv = (self.machine.point(prev).volts - self.machine.point(desired).volts).abs();
+            let voltage_changed = dv > EPS;
+            if voltage_changed {
+                self.voltage_switches += 1;
+            }
+            if let Some(ov) = self.cfg.switch_overhead {
+                let stall = if voltage_changed {
+                    ov.voltage_change
+                } else {
+                    ov.freq_only
+                };
+                self.stall_until = self.now + stall;
+            }
+        }
+        self.applied = Some(desired);
+    }
+
+    fn run(mut self) -> SimReport {
+        self.policy.init(self.tasks, self.machine);
+        // Release everything due at t = 0.
+        self.process_due_events(true);
+
+        loop {
+            // Grant any due policy review (e.g. laEDF re-planning at its
+            // deferral boundary when no release landed there — possible
+            // only under sporadic arrivals).
+            if let Some(review) = self.policy.review_at() {
+                if review.at_or_before(self.now) {
+                    let views = self.views();
+                    let sys = SystemView {
+                        now: self.now,
+                        tasks: self.tasks,
+                        machine: self.machine,
+                        views: &views,
+                    };
+                    self.policy.on_review(&sys);
+                }
+            }
+
+            // Decide occupancy and the operating point for the interval.
+            let ready = self.ready();
+            let running = self.policy.scheduler().pick_next(self.tasks, &ready);
+            let desired = if running.is_some() {
+                self.policy.current_point()
+            } else {
+                self.policy.idle_point(self.machine)
+            };
+            self.apply_point(desired);
+            let op = self.machine.point(desired);
+
+            // Earliest next event: a release, an active deadline (distinct
+            // from the release only under sporadic arrivals), the running
+            // task's completion, or the end of the horizon.
+            let mut t_next = self.cfg.duration;
+            for s in &self.rt {
+                t_next = t_next.min(s.next_release.max(self.now));
+                if s.state == InvState::Active {
+                    t_next = t_next.min(s.deadline.max(self.now));
+                }
+            }
+            if let Some(id) = running {
+                let exec_start = self.now.max(self.stall_until);
+                let t_done = exec_start + self.remaining(id.0).duration_at(op.freq);
+                t_next = t_next.min(t_done);
+            }
+            if let Some(review) = self.policy.review_at() {
+                if review.definitely_before(t_next) && self.now.definitely_before(review) {
+                    t_next = review;
+                }
+            }
+            t_next = t_next.min(self.cfg.duration).max(self.now);
+
+            // Charge the interval [now, t_next): a stall prefix, then
+            // execution or idling.
+            let stall_end = self.stall_until.min(t_next).max(self.now);
+            if stall_end > self.now {
+                let d = stall_end - self.now;
+                self.meter.charge_stall(d);
+                if let Some(tr) = &mut self.trace {
+                    tr.push(self.now, stall_end, desired, Activity::Stall);
+                }
+            }
+            if t_next > stall_end {
+                let d = t_next - stall_end;
+                match running {
+                    Some(id) => {
+                        self.meter.charge_busy(self.machine, desired, d);
+                        let work = d.work_at(op.freq);
+                        self.rt[id.0].executed += work;
+                        self.stats[id.0].work += work;
+                        self.stats[id.0].energy += work.as_ms() * op.energy_per_work();
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(stall_end, t_next, desired, Activity::Run(id));
+                        }
+                    }
+                    None => {
+                        self.meter.charge_idle(self.machine, desired, d);
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(stall_end, t_next, desired, Activity::Idle);
+                        }
+                    }
+                }
+            }
+            self.now = t_next;
+
+            if self.now.as_ms() >= self.cfg.duration.as_ms() - EPS {
+                // Completions landing exactly on the horizon still count;
+                // releases at the horizon are outside [0, duration).
+                self.process_due_events(false);
+                break;
+            }
+            self.process_due_events(true);
+        }
+
+        SimReport {
+            policy: self.policy.name(),
+            duration: self.cfg.duration,
+            meter: self.meter,
+            switches: self.switches,
+            voltage_switches: self.voltage_switches,
+            misses: self.misses,
+            task_stats: self.stats,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchOverhead;
+    use crate::exec_model::ExecModel;
+    use rtdvs_core::analysis::RmTest;
+    use rtdvs_core::example::{table2_task_set, table3_actual_times, EXAMPLE_HORIZON_MS};
+
+    fn example_cfg() -> SimConfig {
+        SimConfig::new(Time::from_ms(EXAMPLE_HORIZON_MS))
+            .with_exec(ExecModel::Trace(table3_actual_times()))
+            .with_trace()
+    }
+
+    /// Plain EDF on the example: everything at full speed, 7 ms of work,
+    /// energy 7 × 25 = 175, no misses.
+    #[test]
+    fn plain_edf_on_example() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &example_cfg());
+        assert!(r.all_deadlines_met());
+        assert!((r.energy() - 175.0).abs() < 1e-9, "energy = {}", r.energy());
+        assert!(r.total_work().approx_eq(Work::from_ms(7.0)));
+        // Two invocations of each task released; all six completed.
+        for s in &r.task_stats {
+            assert_eq!(s.releases, 2);
+            assert_eq!(s.completions, 2);
+        }
+    }
+
+    /// Table 4, checked exactly: the normalized energies of all six
+    /// policies on the worked example.
+    #[test]
+    fn table4_normalized_energies() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = example_cfg();
+        let base = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        let expect = [
+            (PolicyKind::PlainEdf, 1.0),
+            (PolicyKind::StaticRm(RmTest::default()), 1.0),
+            (PolicyKind::StaticEdf, 112.0 / 175.0), // paper rounds to 0.64
+            (PolicyKind::CcEdf, 91.0 / 175.0),      // paper rounds to 0.52
+            (PolicyKind::CcRm(RmTest::default()), 125.0 / 175.0), // 0.71
+            (PolicyKind::LaEdf, 77.0 / 175.0),      // paper rounds to 0.44
+        ];
+        for (kind, want) in expect {
+            let r = simulate(&tasks, &m, kind, &cfg);
+            assert!(r.all_deadlines_met(), "{} missed deadlines", kind.name());
+            let got = r.normalized_against(&base);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{}: normalized {got}, expected {want}",
+                kind.name()
+            );
+        }
+    }
+
+    /// Fig. 3's ccEDF frequency trace on the example.
+    #[test]
+    fn cc_edf_trace_matches_fig3() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &example_cfg());
+        let tr = r.trace.as_ref().unwrap();
+        // T1 runs [0, 8/3) at 0.75; T2 [8/3, 4) at 0.75; T3 [4, 6) at 0.5.
+        assert_eq!(tr.point_at(Time::from_ms(1.0), &m), Some(0.75));
+        assert_eq!(tr.point_at(Time::from_ms(3.5), &m), Some(0.75));
+        assert_eq!(tr.point_at(Time::from_ms(5.0), &m), Some(0.5));
+        // T1's second invocation [8, 9.33) at 0.75.
+        assert_eq!(tr.point_at(Time::from_ms(8.5), &m), Some(0.75));
+        // T2's second invocation [10, 12) at 0.5.
+        assert_eq!(tr.point_at(Time::from_ms(11.0), &m), Some(0.5));
+    }
+
+    /// Fig. 7's laEDF execution trace: 0.75 until T1 completes at 8/3,
+    /// then 0.5 for everything else.
+    #[test]
+    fn la_edf_trace_matches_fig7() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let r = simulate(&tasks, &m, PolicyKind::LaEdf, &example_cfg());
+        assert!(r.all_deadlines_met());
+        let tr = r.trace.as_ref().unwrap();
+        assert_eq!(tr.point_at(Time::from_ms(1.0), &m), Some(0.75));
+        assert_eq!(tr.point_at(Time::from_ms(3.0), &m), Some(0.5));
+        assert_eq!(tr.point_at(Time::from_ms(5.5), &m), Some(0.5));
+        // T2 runs [8/3, 14/3), T3 [14/3, 20/3), idle [20/3, 8).
+        assert_eq!(tr.point_at(Time::from_ms(7.0), &m), Some(0.5));
+        assert_eq!(tr.point_at(Time::from_ms(9.0), &m), Some(0.5));
+    }
+
+    /// Fig. 5's ccRM frequency steps: 1.0, then 0.75, then 0.5; 1.0 again
+    /// at T1's re-release.
+    #[test]
+    fn cc_rm_trace_matches_fig5() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let r = simulate(
+            &tasks,
+            &m,
+            PolicyKind::CcRm(RmTest::default()),
+            &example_cfg(),
+        );
+        assert!(r.all_deadlines_met());
+        let tr = r.trace.as_ref().unwrap();
+        assert_eq!(tr.point_at(Time::from_ms(1.0), &m), Some(1.0)); // T1
+        assert_eq!(tr.point_at(Time::from_ms(2.5), &m), Some(0.75)); // T2
+        assert_eq!(tr.point_at(Time::from_ms(4.0), &m), Some(0.5)); // T3
+        assert_eq!(tr.point_at(Time::from_ms(8.5), &m), Some(1.0)); // T1 again
+    }
+
+    /// Fig. 2: statically-scaled EDF runs the worst case at 0.75 without
+    /// misses; statically-scaled RM must stay at 1.0.
+    #[test]
+    fn static_scaling_matches_fig2() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(EXAMPLE_HORIZON_MS)).with_trace();
+        let edf = simulate(&tasks, &m, PolicyKind::StaticEdf, &cfg);
+        assert!(edf.all_deadlines_met());
+        let tr = edf.trace.as_ref().unwrap();
+        assert_eq!(tr.point_at(Time::from_ms(0.5), &m), Some(0.75));
+        let rm = simulate(&tasks, &m, PolicyKind::StaticRm(RmTest::default()), &cfg);
+        assert!(rm.all_deadlines_met());
+        let tr = rm.trace.as_ref().unwrap();
+        assert_eq!(tr.point_at(Time::from_ms(0.5), &m), Some(1.0));
+    }
+
+    /// Forcing static RM to run at 0.75 (via a machine whose maximum the
+    /// test accepts) is not possible; instead verify the engine records the
+    /// miss Fig. 2 predicts when an infeasible pace is imposed: run the
+    /// paper set under plain RM on a machine that is too slow overall.
+    #[test]
+    fn overload_produces_recorded_misses() {
+        // Utilization 1.25 > 1: even EDF at full speed must miss.
+        let tasks = TaskSet::from_ms_pairs(&[(4.0, 3.0), (8.0, 4.0)]).unwrap();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(64.0));
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        assert!(!r.all_deadlines_met());
+        let first = r.misses.first().unwrap();
+        assert!(first.remaining.is_positive());
+    }
+
+    #[test]
+    fn skip_release_miss_policy_extends_invocation() {
+        let tasks = TaskSet::from_ms_pairs(&[(4.0, 3.0), (8.0, 4.0)]).unwrap();
+        let m = Machine::machine0();
+        let mut cfg = SimConfig::new(Time::from_ms(64.0));
+        cfg.miss_policy = MissPolicy::SkipRelease;
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        assert!(!r.all_deadlines_met());
+        // T2 (the task that overruns) gets fewer releases than its
+        // periodic count of 8 because overruns skip releases.
+        assert!(r.task_stats[1].releases < 8);
+        // T1 keeps all of its releases: it always completes.
+        assert_eq!(r.task_stats[0].releases, 16);
+    }
+
+    /// The dynamic policies' switch count is bounded by two per invocation
+    /// (plus the initial setting).
+    #[test]
+    fn switch_count_bound() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = example_cfg();
+        for kind in [
+            PolicyKind::CcEdf,
+            PolicyKind::CcRm(RmTest::default()),
+            PolicyKind::LaEdf,
+        ] {
+            let r = simulate(&tasks, &m, kind, &cfg);
+            let releases: u64 = r.task_stats.iter().map(|s| s.releases).sum();
+            assert!(
+                r.switches <= 2 * releases + 1,
+                "{}: {} switches for {releases} releases",
+                kind.name(),
+                r.switches
+            );
+        }
+    }
+
+    /// Switch overheads stall the processor: total busy+idle time shrinks
+    /// by the stall time, and energy stays finite.
+    #[test]
+    fn switch_overhead_steals_time() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = example_cfg().with_switch_overhead(SwitchOverhead {
+            freq_only: Time::from_ms(0.05),
+            voltage_change: Time::from_ms(0.1),
+        });
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &cfg);
+        assert!(r.meter.stall_time().as_ms() > 0.0);
+        let accounted = r.meter.busy_time().iter().map(|t| t.as_ms()).sum::<f64>()
+            + r.meter.idle_time().iter().map(|t| t.as_ms()).sum::<f64>()
+            + r.meter.stall_time().as_ms();
+        assert!((accounted - EXAMPLE_HORIZON_MS).abs() < 1e-6);
+    }
+
+    /// Offsets delay first releases.
+    #[test]
+    fn offsets_delay_first_release() {
+        use rtdvs_core::task::Task;
+        let tasks = rtdvs_core::task::TaskSet::new(vec![Task::with_offset(
+            Time::from_ms(10.0),
+            Work::from_ms(2.0),
+            Time::from_ms(5.0),
+        )
+        .unwrap()])
+        .unwrap();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(20.0)).with_trace();
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.task_stats[0].releases, 2);
+        let tr = r.trace.as_ref().unwrap();
+        // Nothing runs before the offset.
+        let first_run = tr.runs_of(TaskId(0)).next().unwrap();
+        assert!(first_run.start.approx_eq(Time::from_ms(5.0)));
+    }
+
+    /// laEDF procrastinates: its minimum slack on the worked example is
+    /// smaller than plain EDF's (which races ahead at full speed), yet
+    /// still non-negative.
+    #[test]
+    fn la_edf_has_less_slack_but_never_negative() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = example_cfg();
+        let fast = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        let lazy = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        for (f, l) in fast.task_stats.iter().zip(&lazy.task_stats) {
+            let (fs, ls) = (f.min_slack.unwrap(), l.min_slack.unwrap());
+            assert!(ls.as_ms() >= -1e-9, "negative slack {ls}");
+            assert!(ls.as_ms() <= fs.as_ms() + 1e-9, "laEDF finished earlier?");
+        }
+    }
+
+    /// Per-task energy attribution partitions the busy energy exactly.
+    #[test]
+    fn per_task_energy_sums_to_busy_energy() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_secs(1.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(11);
+        for kind in PolicyKind::paper_six() {
+            let r = simulate(&tasks, &m, kind, &cfg);
+            let attributed: f64 = r.task_stats.iter().map(|s| s.energy).sum();
+            assert!(
+                (attributed - r.meter.busy_energy()).abs() < 1e-6,
+                "{}: {attributed} vs {}",
+                kind.name(),
+                r.meter.busy_energy()
+            );
+            // The shortest-period task executes the most work here.
+            assert!(r.task_stats[0].energy > 0.0);
+        }
+    }
+
+    /// Sporadic arrivals only lengthen inter-arrival gaps, so release
+    /// counts shrink and deadlines keep holding for every policy.
+    #[test]
+    fn sporadic_arrivals_preserve_guarantees() {
+        use crate::config::ArrivalModel;
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let periodic_cfg = SimConfig::new(Time::from_secs(2.0))
+            .with_exec(ExecModel::ConstantFraction(0.8))
+            .with_seed(5);
+        let sporadic_cfg = periodic_cfg.clone().with_arrival(ArrivalModel::Sporadic {
+            max_extra_fraction: 0.5,
+        });
+        for kind in PolicyKind::paper_six() {
+            let p = simulate(&tasks, &m, kind, &periodic_cfg);
+            let s = simulate(&tasks, &m, kind, &sporadic_cfg);
+            assert!(s.all_deadlines_met(), "{} missed", kind.name());
+            let p_rel: u64 = p.task_stats.iter().map(|t| t.releases).sum();
+            let s_rel: u64 = s.task_stats.iter().map(|t| t.releases).sum();
+            assert!(
+                s_rel < p_rel,
+                "{}: sporadic should release less",
+                kind.name()
+            );
+        }
+    }
+
+    /// With sporadic gaps a missed invocation can be dropped at its
+    /// deadline, well before the next release — the miss must carry the
+    /// deadline timestamp, not the release's.
+    #[test]
+    fn sporadic_miss_is_detected_at_the_deadline() {
+        use crate::config::ArrivalModel;
+        // One task at overload (impossible even at full speed).
+        let tasks = TaskSet::from_ms_pairs(&[(10.0, 10.0), (11.0, 5.0)]).unwrap();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(200.0))
+            .with_arrival(ArrivalModel::Sporadic {
+                max_extra_fraction: 1.0,
+            })
+            .with_seed(3);
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        assert!(!r.all_deadlines_met());
+        for miss in &r.misses {
+            // Deadline = release + period, strictly before the (sporadic)
+            // next release most of the time; all that matters is that the
+            // timestamps are deadline-aligned multiples of nothing later
+            // than the horizon.
+            assert!(miss.deadline.as_ms() <= 200.0 + 1e-6);
+            assert!(miss.remaining.is_positive());
+        }
+    }
+
+    /// Determinism: identical seeds give identical reports.
+    #[test]
+    fn deterministic_given_seed() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(500.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(99);
+        let a = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        let b = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        assert_eq!(a.energy(), b.energy());
+        assert_eq!(a.switches, b.switches);
+    }
+
+    /// Long-horizon sanity: all six policies meet every deadline on the
+    /// example set with uniform execution times.
+    #[test]
+    fn long_horizon_no_misses() {
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_secs(2.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(3);
+        for kind in PolicyKind::paper_six() {
+            let r = simulate(&tasks, &m, kind, &cfg);
+            assert!(
+                r.all_deadlines_met(),
+                "{} missed {} deadlines",
+                kind.name(),
+                r.misses.len()
+            );
+        }
+    }
+}

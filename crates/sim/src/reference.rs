@@ -1,0 +1,340 @@
+//! A deliberately naive fixed-timestep reference simulator.
+//!
+//! The event-driven engine ([`crate::engine`]) is the fast path; this
+//! module is its independent oracle: it advances the clock in small fixed
+//! quanta, re-evaluating scheduling state at every step, with none of the
+//! event-driven machinery (no event queue, no closed-form interval
+//! charging). Within the discretization error the two must agree on
+//! energy, executed work, and deadline misses — a disagreement beyond
+//! tolerance is a bug in one of them. The cross-check runs in the test
+//! suite (`engine_matches_reference_oracle`).
+//!
+//! Restrictions (deliberate, to keep the oracle dumb and obviously
+//! correct): periodic arrivals, [`MissPolicy::DropRemaining`], no switch
+//! overheads, no trace.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtdvs_core::machine::Machine;
+use rtdvs_core::policy::PolicyKind;
+use rtdvs_core::task::{TaskId, TaskSet};
+use rtdvs_core::time::{Time, Work, EPS};
+use rtdvs_core::view::{InvState, SystemView, TaskView};
+
+use crate::config::{ArrivalModel, MissPolicy, SimConfig};
+
+/// Minimal result of a reference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefReport {
+    /// Total energy (busy + idle), same units as the engine.
+    pub energy: f64,
+    /// Total work executed.
+    pub work: Work,
+    /// Deadline misses observed.
+    pub misses: usize,
+}
+
+/// Runs the fixed-timestep oracle with quantum `dt`.
+///
+/// # Panics
+///
+/// Panics if the configuration uses features the oracle does not support
+/// (sporadic arrivals, switch overheads, `SkipRelease`) or `dt` is not
+/// strictly positive.
+#[must_use]
+pub fn simulate_reference(
+    tasks: &TaskSet,
+    machine: &Machine,
+    kind: PolicyKind,
+    cfg: &SimConfig,
+    dt: Time,
+) -> RefReport {
+    assert!(dt.as_ms() > 0.0, "quantum must be positive");
+    assert!(
+        matches!(cfg.arrival, ArrivalModel::Periodic),
+        "oracle supports periodic arrivals only"
+    );
+    assert!(
+        cfg.switch_overhead.is_none(),
+        "oracle does not model switch overheads"
+    );
+    assert!(
+        cfg.miss_policy == MissPolicy::DropRemaining,
+        "oracle supports DropRemaining only"
+    );
+
+    let mut policy = kind.build();
+    policy.init(tasks, machine);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    struct Rt {
+        invocation: u64,
+        state: InvState,
+        executed: Work,
+        actual: Work,
+        deadline: Time,
+        next_release: Time,
+    }
+    let mut rt: Vec<Rt> = tasks
+        .tasks()
+        .iter()
+        .map(|t| Rt {
+            invocation: 0,
+            state: InvState::Inactive,
+            executed: Work::ZERO,
+            actual: Work::ZERO,
+            deadline: t.offset() + t.period(),
+            next_release: t.offset(),
+        })
+        .collect();
+
+    let mut energy = 0.0;
+    let mut work_total = Work::ZERO;
+    let mut misses = 0usize;
+    let mut now = Time::ZERO;
+
+    let views = |rt: &[Rt]| -> Vec<TaskView> {
+        rt.iter()
+            .map(|s| TaskView {
+                invocation: s.invocation,
+                state: s.state,
+                executed: s.executed,
+                deadline: s.deadline,
+                next_release: s.next_release,
+            })
+            .collect()
+    };
+
+    while now.definitely_before(cfg.duration) {
+        // Event sweep at the current quantum boundary, exactly mirroring
+        // the engine's ordering: completions, deadline checks, releases.
+        loop {
+            let mut progressed = false;
+            for i in 0..rt.len() {
+                let remaining = (rt[i].actual - rt[i].executed).clamp_non_negative();
+                if rt[i].state == InvState::Active && !remaining.is_positive() {
+                    rt[i].executed = rt[i].actual;
+                    rt[i].state = InvState::Completed;
+                    let v = views(&rt);
+                    let sys = SystemView {
+                        now,
+                        tasks,
+                        machine,
+                        views: &v,
+                    };
+                    policy.on_completion(TaskId(i), &sys);
+                    progressed = true;
+                }
+            }
+            for s in rt.iter_mut() {
+                if s.state == InvState::Active && s.deadline.at_or_before(now) {
+                    misses += 1;
+                    s.actual = s.executed;
+                    s.state = InvState::Completed;
+                    progressed = true;
+                }
+            }
+            for i in 0..rt.len() {
+                if rt[i].state != InvState::Active && rt[i].next_release.at_or_before(now) {
+                    let period = tasks.task(TaskId(i)).period();
+                    rt[i].invocation += 1;
+                    rt[i].state = InvState::Active;
+                    rt[i].executed = Work::ZERO;
+                    rt[i].deadline = rt[i].next_release + period;
+                    rt[i].next_release += period;
+                    rt[i].actual = cfg.exec.sample(
+                        TaskId(i),
+                        tasks.task(TaskId(i)),
+                        rt[i].invocation,
+                        &mut rng,
+                    );
+                    let v = views(&rt);
+                    let sys = SystemView {
+                        now,
+                        tasks,
+                        machine,
+                        views: &v,
+                    };
+                    policy.on_release(TaskId(i), &sys);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Policy review (see `DvsPolicy::review_at`); irrelevant for the
+        // periodic arrivals the oracle supports, but kept for parity.
+        if let Some(review) = policy.review_at() {
+            if review.at_or_before(now) {
+                let v = views(&rt);
+                let sys = SystemView {
+                    now,
+                    tasks,
+                    machine,
+                    views: &v,
+                };
+                policy.on_review(&sys);
+            }
+        }
+
+        // One quantum of execution or idling.
+        let step = dt.min(cfg.duration - now);
+        let ready: Vec<(TaskId, Time)> = rt
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.state == InvState::Active
+                    && (s.actual - s.executed).clamp_non_negative().is_positive()
+            })
+            .map(|(i, s)| (TaskId(i), s.deadline))
+            .collect();
+        match policy.scheduler().pick_next(tasks, &ready) {
+            Some(id) => {
+                let op = machine.point(policy.current_point());
+                // Run for the quantum, but never past this task's residual
+                // work (the engine completes exactly; the oracle truncates
+                // the quantum the same way to keep work totals honest).
+                let remaining = (rt[id.0].actual - rt[id.0].executed).clamp_non_negative();
+                let full = step.work_at(op.freq);
+                let done = full.min(remaining);
+                let used = if full.as_ms() > EPS {
+                    step * (done / full)
+                } else {
+                    step
+                };
+                energy += done.as_ms() * op.energy_per_work();
+                // Whatever is left of the quantum after an early completion
+                // is idled at the policy's idle point, approximating the
+                // engine's exact switch.
+                let leftover = step - used;
+                if leftover.as_ms() > 0.0 {
+                    let idle_op = machine.point(policy.idle_point(machine));
+                    energy += leftover.as_ms() * idle_op.idle_power(cfg.idle_level);
+                }
+                rt[id.0].executed += done;
+                work_total += done;
+            }
+            None => {
+                let op = machine.point(policy.idle_point(machine));
+                energy += step.as_ms() * op.idle_power(cfg.idle_level);
+            }
+        }
+        now += step;
+    }
+
+    // Final sweep at the horizon, mirroring the engine: completions that
+    // land exactly on the boundary count, and so do deadlines that expire
+    // there (releases at the horizon are outside `[0, duration)`).
+    for s in rt.iter_mut() {
+        let remaining = (s.actual - s.executed).clamp_non_negative();
+        if s.state == InvState::Active && !remaining.is_positive() {
+            s.executed = s.actual;
+            s.state = InvState::Completed;
+        }
+    }
+    for s in &rt {
+        if s.state == InvState::Active && s.deadline.at_or_before(now) {
+            misses += 1;
+        }
+    }
+
+    RefReport {
+        energy,
+        work: work_total,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::exec_model::ExecModel;
+    use rtdvs_core::example::table2_task_set;
+
+    /// The headline cross-check: the event-driven engine and the
+    /// fixed-timestep oracle agree on energy and work within the
+    /// discretization error, and on miss counts exactly, for every policy.
+    #[test]
+    fn engine_matches_reference_oracle() {
+        let tasks = table2_task_set();
+        let machine = Machine::machine0();
+        for exec in [ExecModel::Wcet, ExecModel::ConstantFraction(0.6)] {
+            for idle_level in [0.0, 0.3] {
+                let cfg = SimConfig::new(Time::from_ms(280.0))
+                    .with_exec(exec.clone())
+                    .with_idle_level(idle_level);
+                for kind in PolicyKind::paper_six() {
+                    let fast = simulate(&tasks, &machine, kind, &cfg);
+                    let slow =
+                        simulate_reference(&tasks, &machine, kind, &cfg, Time::from_ms(0.002));
+                    let rel = (fast.energy() - slow.energy).abs() / fast.energy().max(1.0);
+                    assert!(
+                        rel < 0.02,
+                        "{} (exec {exec:?}, idle {idle_level}): engine {} vs oracle {}",
+                        kind.name(),
+                        fast.energy(),
+                        slow.energy
+                    );
+                    assert!(
+                        (fast.total_work().as_ms() - slow.work.as_ms()).abs() < 0.5,
+                        "{}: work mismatch",
+                        kind.name()
+                    );
+                    assert_eq!(fast.misses.len(), slow.misses, "{}", kind.name());
+                }
+            }
+        }
+    }
+
+    /// Overloaded sets miss in both simulators.
+    #[test]
+    fn oracle_sees_overload_misses_too() {
+        let tasks = TaskSet::from_ms_pairs(&[(4.0, 3.0), (8.0, 4.0)]).unwrap();
+        let machine = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(64.0));
+        let fast = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg);
+        let slow = simulate_reference(
+            &tasks,
+            &machine,
+            PolicyKind::PlainEdf,
+            &cfg,
+            Time::from_ms(0.002),
+        );
+        assert!(slow.misses > 0);
+        assert_eq!(fast.misses.len(), slow.misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn rejects_zero_quantum() {
+        let tasks = table2_task_set();
+        let cfg = SimConfig::new(Time::from_ms(16.0));
+        let _ = simulate_reference(
+            &tasks,
+            &Machine::machine0(),
+            PolicyKind::PlainEdf,
+            &cfg,
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic arrivals only")]
+    fn rejects_sporadic_config() {
+        let tasks = table2_task_set();
+        let cfg = SimConfig::new(Time::from_ms(16.0)).with_arrival(ArrivalModel::Sporadic {
+            max_extra_fraction: 0.5,
+        });
+        let _ = simulate_reference(
+            &tasks,
+            &Machine::machine0(),
+            PolicyKind::PlainEdf,
+            &cfg,
+            Time::from_ms(0.01),
+        );
+    }
+}

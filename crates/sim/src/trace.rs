@@ -1,0 +1,268 @@
+//! Execution traces: who ran when, at which operating point.
+//!
+//! Traces make the paper's worked figures (Figs. 2, 3, 5, 7) reproducible
+//! and testable, and back the ASCII Gantt renderer used by the examples.
+
+use std::fmt::Write as _;
+
+use rtdvs_core::machine::{Machine, PointIdx};
+use rtdvs_core::task::TaskId;
+use rtdvs_core::time::Time;
+
+/// What the processor was doing during a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Executing a task.
+    Run(TaskId),
+    /// Halted with an empty ready queue.
+    Idle,
+    /// Stalled in a voltage/frequency transition.
+    Stall,
+}
+
+/// A maximal interval with constant activity and operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start time.
+    pub start: Time,
+    /// Segment end time.
+    pub end: Time,
+    /// Operating point in effect.
+    pub point: PointIdx,
+    /// What ran.
+    pub activity: Activity,
+}
+
+impl Segment {
+    /// Segment length.
+    #[must_use]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Records segments, merging adjacent ones with identical activity and
+/// operating point.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends `[start, end)` with the given activity; zero-length segments
+    /// are dropped and compatible adjacent segments merged.
+    pub fn push(&mut self, start: Time, end: Time, point: PointIdx, activity: Activity) {
+        if end.as_ms() - start.as_ms() <= 0.0 {
+            return;
+        }
+        if let Some(last) = self.segments.last_mut() {
+            if last.activity == activity && last.point == point && last.end.approx_eq(start) {
+                last.end = end;
+                return;
+            }
+        }
+        self.segments.push(Segment {
+            start,
+            end,
+            point,
+            activity,
+        });
+    }
+
+    /// The recorded segments in time order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segments during which `task` ran.
+    pub fn runs_of(&self, task: TaskId) -> impl Iterator<Item = &Segment> {
+        self.segments
+            .iter()
+            .filter(move |s| s.activity == Activity::Run(task))
+    }
+
+    /// The frequency in effect at time `t`, if `t` falls inside the trace.
+    #[must_use]
+    pub fn point_at(&self, t: Time, machine: &Machine) -> Option<f64> {
+        self.segments
+            .iter()
+            .find(|s| s.start.at_or_before(t) && t.definitely_before(s.end))
+            .map(|s| machine.point(s.point).freq)
+    }
+
+    /// Serializes the trace as CSV
+    /// (`start_ms,end_ms,freq,volts,activity,task`), suitable for external
+    /// plotting of the paper-style figures.
+    #[must_use]
+    pub fn to_csv(&self, machine: &Machine) -> String {
+        let mut out = String::from("start_ms,end_ms,freq,volts,activity,task\n");
+        for seg in &self.segments {
+            let op = machine.point(seg.point);
+            let (activity, task) = match seg.activity {
+                Activity::Run(TaskId(i)) => ("run", format!("T{}", i + 1)),
+                Activity::Idle => ("idle", String::new()),
+                Activity::Stall => ("stall", String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{:.6},{:.6},{:.3},{:.3},{activity},{task}",
+                seg.start.as_ms(),
+                seg.end.as_ms(),
+                op.freq,
+                op.volts,
+            );
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart: one row per frequency level, one row
+    /// of task labels, `cols` columns spanning `[0, horizon]`.
+    ///
+    /// This mirrors the layout of the paper's example figures: time flows
+    /// right, the bar height encodes the operating frequency.
+    #[must_use]
+    pub fn render_gantt(&self, machine: &Machine, horizon: Time, cols: usize) -> String {
+        let cols = cols.max(8);
+        let dt = horizon.as_ms() / cols as f64;
+        // For each column, find the active segment at its midpoint.
+        let mut col_seg: Vec<Option<&Segment>> = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let t = Time::from_ms((c as f64 + 0.5) * dt);
+            col_seg.push(
+                self.segments
+                    .iter()
+                    .find(|s| s.start.at_or_before(t) && t.definitely_before(s.end)),
+            );
+        }
+        let mut out = String::new();
+        // Frequency rows, highest first.
+        for level in (0..machine.len()).rev() {
+            let freq = machine.point(level).freq;
+            let _ = write!(out, "{freq:>5.2} |");
+            for seg in &col_seg {
+                let ch = match seg {
+                    Some(s) if matches!(s.activity, Activity::Run(_)) && s.point >= level => '#',
+                    Some(s) if s.activity == Activity::Idle && s.point >= level => '.',
+                    Some(s) if s.activity == Activity::Stall && s.point >= level => 'x',
+                    _ => ' ',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        // Task-label row.
+        let _ = write!(out, "      |");
+        for seg in &col_seg {
+            let ch = match seg {
+                Some(Segment {
+                    activity: Activity::Run(TaskId(i)),
+                    ..
+                }) => char::from_digit((*i as u32 + 1) % 36, 36).unwrap_or('?'),
+                Some(Segment {
+                    activity: Activity::Idle,
+                    ..
+                }) => '.',
+                Some(Segment {
+                    activity: Activity::Stall,
+                    ..
+                }) => 'x',
+                None => ' ',
+            };
+            out.push(ch);
+        }
+        let _ = writeln!(
+            out,
+            "\n      0{:>width$}",
+            format!("{}ms", horizon.as_ms()),
+            width = cols
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    #[test]
+    fn merges_adjacent_compatible_segments() {
+        let mut tr = Trace::new();
+        tr.push(t(0.0), t(1.0), 1, Activity::Run(TaskId(0)));
+        tr.push(t(1.0), t(2.0), 1, Activity::Run(TaskId(0)));
+        tr.push(t(2.0), t(3.0), 1, Activity::Run(TaskId(1)));
+        assert_eq!(tr.segments().len(), 2);
+        assert_eq!(tr.segments()[0].end, t(2.0));
+    }
+
+    #[test]
+    fn drops_zero_length_segments() {
+        let mut tr = Trace::new();
+        tr.push(t(1.0), t(1.0), 0, Activity::Idle);
+        assert!(tr.segments().is_empty());
+    }
+
+    #[test]
+    fn point_at_finds_enclosing_segment() {
+        let m = Machine::machine0();
+        let mut tr = Trace::new();
+        tr.push(t(0.0), t(2.0), 2, Activity::Run(TaskId(0)));
+        tr.push(t(2.0), t(4.0), 0, Activity::Idle);
+        assert_eq!(tr.point_at(t(1.0), &m), Some(1.0));
+        assert_eq!(tr.point_at(t(3.0), &m), Some(0.5));
+        assert_eq!(tr.point_at(t(9.0), &m), None);
+    }
+
+    #[test]
+    fn runs_of_filters_by_task() {
+        let mut tr = Trace::new();
+        tr.push(t(0.0), t(1.0), 0, Activity::Run(TaskId(0)));
+        tr.push(t(1.0), t(2.0), 0, Activity::Run(TaskId(1)));
+        tr.push(t(2.0), t(3.0), 0, Activity::Run(TaskId(0)));
+        assert_eq!(tr.runs_of(TaskId(0)).count(), 2);
+        assert_eq!(tr.runs_of(TaskId(1)).count(), 1);
+    }
+
+    #[test]
+    fn csv_export_lists_segments() {
+        let m = Machine::machine0();
+        let mut tr = Trace::new();
+        tr.push(t(0.0), t(2.0), 1, Activity::Run(TaskId(0)));
+        tr.push(t(2.0), t(2.5), 1, Activity::Stall);
+        tr.push(t(2.5), t(4.0), 0, Activity::Idle);
+        let csv = tr.to_csv(&m);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("start_ms,"));
+        assert!(lines[1].contains("run,T1"));
+        assert!(lines[1].contains("0.750,4.000"));
+        assert!(lines[2].contains("stall"));
+        assert!(lines[3].contains("idle"));
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_point() {
+        let m = Machine::machine0();
+        let mut tr = Trace::new();
+        tr.push(t(0.0), t(8.0), 2, Activity::Run(TaskId(0)));
+        tr.push(t(8.0), t(16.0), 0, Activity::Idle);
+        let g = tr.render_gantt(&m, t(16.0), 32);
+        let lines: Vec<&str> = g.lines().collect();
+        // 3 frequency rows + task row + axis row.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with(" 1.00 |"));
+        assert!(lines[0].contains('#'));
+        assert!(lines[3].contains('1'));
+        assert!(lines[3].contains('.'));
+    }
+}

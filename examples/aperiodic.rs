@@ -1,0 +1,83 @@
+//! Mixing hard periodic tasks with aperiodic work through a polling
+//! server (§2.2, footnote 1): a cellular-phone controller whose baseband
+//! tasks are hard real-time while user keypresses and network events are
+//! served from a budgeted queue — with DVS reclaiming whatever budget the
+//! quiet periods leave unused.
+//!
+//! ```text
+//! cargo run --example aperiodic
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use rtdvs::kernel::{FractionBody, RtKernel};
+use rtdvs::{Machine, PolicyKind, Time, Work};
+
+fn main() {
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::LaEdf);
+
+    // Hard periodic baseband load (U = 0.45).
+    kernel
+        .spawn(
+            Time::from_ms(4.615),
+            Work::from_ms(1.0),
+            Box::new(FractionBody(0.7)),
+        )
+        .expect("admitted");
+    kernel
+        .spawn(
+            Time::from_ms(20.0),
+            Work::from_ms(4.6),
+            Box::new(FractionBody(0.6)),
+        )
+        .expect("admitted");
+
+    // Polling server: 25 ms period, 5 ms budget (U_s = 0.2).
+    let (handle, server) = kernel
+        .spawn_polling_server(Time::from_ms(25.0), Work::from_ms(5.0))
+        .expect("server admitted");
+    println!(
+        "polling server {handle}: period 25 ms, budget 5 ms, policy {}",
+        kernel.policy_name()
+    );
+
+    // Sporadic events: Poisson-ish arrivals over two simulated seconds.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut submitted = 0usize;
+    let mut t: f64 = 0.0;
+    while t < 2000.0 {
+        t += rng.random_range(20.0..160.0);
+        kernel.run_until(Time::from_ms(t.min(2000.0)));
+        if t < 2000.0 {
+            let work = Work::from_ms(rng.random_range(0.5..4.5));
+            server.submit(work, kernel.now());
+            submitted += 1;
+        }
+    }
+    kernel.run_until(Time::from_ms(2200.0));
+
+    let done = server.take_completed();
+    let worst = done
+        .iter()
+        .map(|j| j.response_time().as_ms())
+        .fold(0.0f64, f64::max);
+    let mean =
+        done.iter().map(|j| j.response_time().as_ms()).sum::<f64>() / done.len().max(1) as f64;
+    println!(
+        "aperiodic jobs: {submitted} submitted, {} completed, {} pending",
+        done.len(),
+        server.pending()
+    );
+    println!("response times: mean {mean:.1} ms, worst {worst:.1} ms");
+    println!(
+        "server budget forfeited in {} quiet periods (reclaimed by DVS)",
+        server.forfeited_releases()
+    );
+    println!(
+        "hard deadline misses: {} | energy: {:.0}",
+        kernel.misses().count(),
+        kernel.energy()
+    );
+    assert_eq!(kernel.misses().count(), 0);
+}

@@ -1,0 +1,68 @@
+//! Renders the paper's worked-example execution traces (Figs. 2, 3, 5, 7)
+//! as ASCII Gantt charts: time flows right, bar height is the operating
+//! frequency, the bottom row names the running task.
+//!
+//! ```text
+//! cargo run --example gantt
+//! ```
+
+use rtdvs::core::analysis::RmTest;
+use rtdvs::core::example::{table2_task_set, table3_actual_times, EXAMPLE_HORIZON_MS};
+use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, Time};
+
+fn main() {
+    let tasks = table2_task_set();
+    let machine = Machine::machine0();
+    let horizon = Time::from_ms(EXAMPLE_HORIZON_MS);
+
+    println!("Table 2 task set: T1=(8,3) T2=(10,3) T3=(14,1); actual times from Table 3\n");
+
+    let worst = SimConfig::new(horizon).with_trace();
+    let actual = SimConfig::new(horizon)
+        .with_exec(ExecModel::Trace(table3_actual_times()))
+        .with_trace();
+
+    let runs = [
+        (
+            "Fig. 2 — statically-scaled EDF (worst case)",
+            PolicyKind::StaticEdf,
+            &worst,
+        ),
+        (
+            "Fig. 2 — statically-scaled RM (worst case)",
+            PolicyKind::StaticRm(RmTest::default()),
+            &worst,
+        ),
+        ("Fig. 3 — cycle-conserving EDF", PolicyKind::CcEdf, &actual),
+        (
+            "Fig. 5 — cycle-conserving RM",
+            PolicyKind::CcRm(RmTest::default()),
+            &actual,
+        ),
+        ("Fig. 7 — look-ahead EDF", PolicyKind::LaEdf, &actual),
+    ];
+
+    let base = simulate(&tasks, &machine, PolicyKind::PlainEdf, &actual);
+    for (title, kind, cfg) in runs {
+        let report = simulate(&tasks, &machine, kind, cfg);
+        println!("{title}");
+        println!(
+            "{}",
+            report
+                .trace
+                .as_ref()
+                .expect("trace enabled")
+                .render_gantt(&machine, horizon, 64)
+        );
+        if std::ptr::eq(cfg, &actual) {
+            println!(
+                "  energy {:.0} (normalized {:.2}), misses {}\n",
+                report.energy(),
+                report.normalized_against(&base),
+                report.misses.len()
+            );
+        } else {
+            println!("  misses {}\n", report.misses.len());
+        }
+    }
+}

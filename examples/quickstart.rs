@@ -1,0 +1,66 @@
+//! Quickstart: define a task set, run every RT-DVS policy on it, and
+//! compare energy against the non-DVS baseline and the theoretical bound.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rtdvs::sim::theoretical_bound;
+use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, TaskSet, Time};
+
+fn main() {
+    // Three periodic tasks: (period ms, worst-case computation ms at full
+    // speed). This is the paper's Table 2 example set (U = 0.746).
+    let tasks =
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set");
+    let machine = Machine::machine0();
+    println!("machine: {machine}");
+    println!(
+        "task set: {} tasks, worst-case utilization {:.3}\n",
+        tasks.len(),
+        tasks.total_utilization()
+    );
+
+    // Simulate one second; each invocation uses a uniformly-random
+    // fraction of its worst case, as real workloads tend to.
+    let cfg = SimConfig::new(Time::from_secs(1.0))
+        .with_exec(ExecModel::uniform())
+        .with_seed(42);
+
+    let baseline = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg);
+    println!(
+        "{:<10} energy {:>10.1}   deadline misses: {}",
+        "EDF",
+        baseline.energy(),
+        baseline.misses.len()
+    );
+    for kind in [
+        PolicyKind::StaticRm(Default::default()),
+        PolicyKind::StaticEdf,
+        PolicyKind::CcEdf,
+        PolicyKind::CcRm(Default::default()),
+        PolicyKind::LaEdf,
+    ] {
+        let report = simulate(&tasks, &machine, kind, &cfg);
+        println!(
+            "{:<10} energy {:>10.1}   normalized {:>5.3}   misses: {}",
+            kind.name(),
+            report.energy(),
+            report.normalized_against(&baseline),
+            report.misses.len()
+        );
+    }
+
+    let bound = theoretical_bound(
+        &machine,
+        baseline.total_work(),
+        cfg.duration,
+        cfg.idle_level,
+    );
+    println!(
+        "{:<10} energy {:>10.1}   normalized {:>5.3}   (no algorithm can beat this)",
+        "bound",
+        bound,
+        bound / baseline.energy()
+    );
+}

@@ -1,0 +1,212 @@
+//! Scenario tests for the RTOS layer: the §4.3 dynamic-task experiments,
+//! policy module swapping under load, and kernel/simulator cross-checks.
+
+use rtdvs::core::analysis::RmTest;
+use rtdvs::core::example::table2_task_set;
+use rtdvs::kernel::{ColdStartBody, FractionBody, KernelEvent, RtKernel, UniformBody, WcetBody};
+use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, Time, Work};
+
+fn ms(v: f64) -> Time {
+    Time::from_ms(v)
+}
+
+fn w(v: f64) -> Work {
+    Work::from_ms(v)
+}
+
+/// Fill a kernel close to capacity, then inject a task mid-invocation.
+/// With the deferred-release fix there must be no transient miss.
+#[test]
+fn dynamic_arrival_with_deferral_is_safe() {
+    for kind in [PolicyKind::CcEdf, PolicyKind::LaEdf] {
+        let mut kernel = RtKernel::new(Machine::machine0(), kind);
+        kernel
+            .spawn(ms(10.0), w(4.0), Box::new(FractionBody(0.95)))
+            .unwrap();
+        kernel
+            .spawn(ms(25.0), w(8.0), Box::new(FractionBody(0.95)))
+            .unwrap();
+        // Run into the thick of the first invocations.
+        kernel.run_until(ms(3.0));
+        kernel
+            .spawn(ms(50.0), w(10.0), Box::new(FractionBody(0.95)))
+            .unwrap();
+        kernel.run_until(ms(500.0));
+        assert_eq!(
+            kernel.misses().count(),
+            0,
+            "{} suffered a transient miss despite deferral",
+            kernel.policy_name()
+        );
+    }
+}
+
+/// The same injection without the fix can miss — and when it does, the
+/// kernel records it instead of silently breaking. (The paper observed
+/// such transients "unless one is very careful".)
+#[test]
+fn dynamic_arrival_without_deferral_is_recorded_if_it_bites() {
+    let mut with_fix_misses = 0;
+    let mut without_fix_misses = 0;
+    for seed in 0..10u64 {
+        for &fix in &[true, false] {
+            let base = RtKernel::new(Machine::machine0(), PolicyKind::LaEdf);
+            let mut kernel = if fix {
+                base
+            } else {
+                base.without_deferred_release()
+            };
+            kernel
+                .spawn(ms(8.0), w(4.0), Box::new(UniformBody::new(seed)))
+                .unwrap();
+            kernel
+                .spawn(ms(20.0), w(8.0), Box::new(UniformBody::new(seed ^ 1)))
+                .unwrap();
+            kernel.run_until(ms(2.5));
+            kernel.spawn(ms(40.0), w(3.9), Box::new(WcetBody)).unwrap();
+            kernel.run_until(ms(400.0));
+            let misses = kernel.misses().count();
+            if fix {
+                with_fix_misses += misses;
+            } else {
+                without_fix_misses += misses;
+            }
+        }
+    }
+    assert_eq!(with_fix_misses, 0, "deferral must eliminate transients");
+    // The unfixed path is permitted to miss; either way it must not be
+    // *worse* than the fixed path.
+    assert!(without_fix_misses >= with_fix_misses);
+}
+
+/// Cycling through every policy module under load keeps deadlines intact.
+#[test]
+fn policy_carousel_under_load() {
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::PlainEdf);
+    for t in table2_task_set().tasks() {
+        kernel
+            .spawn(t.period(), t.wcet(), Box::new(FractionBody(0.7)))
+            .unwrap();
+    }
+    for kind in [
+        PolicyKind::StaticEdf,
+        PolicyKind::CcEdf,
+        PolicyKind::LaEdf,
+        PolicyKind::StaticRm(RmTest::default()),
+        PolicyKind::CcRm(RmTest::default()),
+        PolicyKind::PlainRm,
+        PolicyKind::LaEdf,
+    ] {
+        kernel.load_policy(kind);
+        kernel.run_for(ms(120.0));
+    }
+    assert_eq!(kernel.misses().count(), 0);
+    // Seven loads plus the initial one.
+    let loads = kernel
+        .log()
+        .iter()
+        .filter(|(_, e)| matches!(e, KernelEvent::PolicyLoaded { .. }))
+        .count();
+    assert_eq!(loads, 8);
+}
+
+/// Kernel and batch simulator agree bit-for-bit on a static workload for
+/// every policy (same engine semantics, independent implementations).
+#[test]
+fn kernel_matches_simulator_for_all_policies() {
+    let tasks = table2_task_set();
+    let machine = Machine::machine0();
+    let horizon = ms(320.0);
+    for kind in PolicyKind::paper_six() {
+        let cfg = SimConfig::new(horizon).with_exec(ExecModel::ConstantFraction(0.8));
+        let sim = simulate(&tasks, &machine, kind, &cfg);
+        let mut kernel = RtKernel::new(machine.clone(), kind);
+        for t in tasks.tasks() {
+            kernel
+                .spawn(t.period(), t.wcet(), Box::new(FractionBody(0.8)))
+                .unwrap();
+        }
+        kernel.run_until(horizon);
+        assert!(
+            (kernel.energy() - sim.energy()).abs() < 1e-6,
+            "{}: kernel {} vs sim {}",
+            kind.name(),
+            kernel.energy(),
+            sim.energy()
+        );
+        assert_eq!(kernel.misses().count(), sim.misses.len(), "{}", kind.name());
+    }
+}
+
+/// Removing a task mid-run frees its utilization for a bigger replacement.
+#[test]
+fn remove_then_replace_under_load() {
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+    let h1 = kernel
+        .spawn(ms(10.0), w(5.0), Box::new(FractionBody(0.9)))
+        .unwrap();
+    kernel
+        .spawn(ms(20.0), w(8.0), Box::new(FractionBody(0.9)))
+        .unwrap();
+    kernel.run_until(ms(100.0));
+    // A 0.5-utilization addition is refused while h1 (U = 0.5) lives...
+    assert!(kernel.spawn(ms(20.0), w(10.0), Box::new(WcetBody)).is_err());
+    // ...but fits once h1 leaves.
+    kernel.remove(h1).unwrap();
+    kernel
+        .spawn(ms(20.0), w(10.0), Box::new(FractionBody(0.9)))
+        .unwrap();
+    kernel.run_until(ms(300.0));
+    assert_eq!(kernel.misses().count(), 0);
+}
+
+/// The cold-start overrun (§4.3) is visible under a DVS policy and only on
+/// the first invocation; after warm-up the system settles with no misses
+/// beyond any caused by the overrun itself.
+#[test]
+fn cold_start_warms_up() {
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+    for (p, c) in [(20.0, 3.0), (40.0, 6.0)] {
+        kernel
+            .spawn(
+                ms(p),
+                w(c),
+                Box::new(ColdStartBody::new(FractionBody(0.8), 0.4)),
+            )
+            .unwrap();
+    }
+    kernel.run_until(ms(800.0));
+    let overruns: Vec<u64> = kernel
+        .log()
+        .iter()
+        .filter_map(|(_, e)| match e {
+            KernelEvent::Overrun { invocation, .. } => Some(*invocation),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(overruns, vec![1, 1], "each task overruns exactly once");
+    // All misses (if any) must be attributable to the cold start: none
+    // after the first period of each task.
+    for (t, e) in kernel.misses() {
+        assert!(
+            t.as_ms() <= 40.0,
+            "late miss at {t} not explained by cold start: {e:?}"
+        );
+    }
+}
+
+/// The status interface always reflects the live state.
+#[test]
+fn status_tracks_time_and_frequency() {
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::StaticEdf).with_trace();
+    for t in table2_task_set().tasks() {
+        kernel
+            .spawn(t.period(), t.wcet(), Box::new(WcetBody))
+            .unwrap();
+    }
+    kernel.run_until(ms(4.0));
+    let s = kernel.status();
+    assert!(s.contains("t=4.000ms"), "{s}");
+    assert!(s.contains("freq=0.750"), "{s}");
+    assert!(kernel.current_frequency() == 0.75);
+}

@@ -1,0 +1,292 @@
+//! Property-based tests of the whole stack: for arbitrary schedulable task
+//! sets and arbitrary actual-computation behavior, the RT-DVS policies
+//! must never miss a deadline, never beat the theoretical bound, never
+//! waste more energy than the non-DVS baseline, and never switch more than
+//! twice per invocation.
+
+use proptest::prelude::*;
+
+use rtdvs::core::analysis::{rm_feasible_at, RmTest};
+use rtdvs::sim::config::ArrivalModel;
+use rtdvs::sim::theoretical_bound;
+use rtdvs::taskgen::{generate, TaskGenSpec};
+use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, TaskSet, Time};
+
+/// Strategy: a generated task set plus the spec that produced it.
+fn task_sets() -> impl Strategy<Value = TaskSet> {
+    (1usize..=8, 5usize..=99, any::<u64>()).prop_map(|(n, upct, seed)| {
+        let spec = TaskGenSpec::new(n, upct as f64 / 100.0).unwrap();
+        generate(&spec, seed).expect("generator succeeds")
+    })
+}
+
+fn machines() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        Just(Machine::machine0()),
+        Just(Machine::machine1()),
+        Just(Machine::machine2()),
+    ]
+}
+
+fn exec_models() -> impl Strategy<Value = ExecModel> {
+    prop_oneof![
+        Just(ExecModel::Wcet),
+        (0.05f64..=1.0).prop_map(ExecModel::ConstantFraction),
+        (0.0f64..0.5, 0.5f64..=1.0).prop_map(|(lo, hi)| ExecModel::UniformFraction { lo, hi }),
+    ]
+}
+
+fn sim_cfg(exec: ExecModel, seed: u64) -> SimConfig {
+    SimConfig::new(Time::from_ms(600.0))
+        .with_exec(exec)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline guarantee: EDF-based policies never miss a deadline on
+    /// any EDF-schedulable set (the generator only emits U ≤ 1), under any
+    /// execution behavior, on any machine.
+    #[test]
+    fn edf_policies_never_miss(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(exec, seed);
+        for kind in [PolicyKind::PlainEdf, PolicyKind::StaticEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert!(
+                report.all_deadlines_met(),
+                "{} missed {} deadlines (first: {:?})",
+                kind.name(),
+                report.misses.len(),
+                report.misses.first()
+            );
+        }
+    }
+
+    /// RM-based policies never miss on RM-schedulable sets.
+    #[test]
+    fn rm_policies_never_miss_on_rm_feasible_sets(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
+        let cfg = sim_cfg(exec, seed);
+        for kind in [
+            PolicyKind::PlainRm,
+            PolicyKind::StaticRm(RmTest::SchedulingPoints),
+            PolicyKind::CcRm(RmTest::SchedulingPoints),
+        ] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert!(
+                report.all_deadlines_met(),
+                "{} missed {} deadlines",
+                kind.name(),
+                report.misses.len()
+            );
+        }
+    }
+
+    /// The Liu–Layland variant is also safe (it is only more conservative).
+    #[test]
+    fn rm_policies_never_miss_under_liu_layland_pacing(
+        tasks in task_sets(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::LiuLayland));
+        let machine = Machine::machine0();
+        let cfg = sim_cfg(exec, seed);
+        for kind in [
+            PolicyKind::StaticRm(RmTest::LiuLayland),
+            PolicyKind::CcRm(RmTest::LiuLayland),
+        ] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert!(report.all_deadlines_met(), "{}", kind.name());
+        }
+    }
+
+    /// No policy beats the theoretical lower bound for the work it did.
+    #[test]
+    fn nothing_beats_the_bound(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+        idle_pct in 0u8..=100,
+    ) {
+        let idle_level = f64::from(idle_pct) / 100.0;
+        let mut cfg = sim_cfg(exec, seed);
+        cfg.idle_level = idle_level;
+        for kind in PolicyKind::paper_six() {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            let bound = theoretical_bound(&machine, report.total_work(), cfg.duration, idle_level);
+            prop_assert!(
+                bound <= report.energy() + 1e-6,
+                "{} energy {} below bound {bound}",
+                kind.name(),
+                report.energy()
+            );
+        }
+    }
+
+    /// DVS never costs more than no DVS: every EDF-based policy's energy is
+    /// at most plain EDF's (the RM pair compares against plain RM).
+    #[test]
+    fn dvs_is_never_worse_than_no_dvs(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(exec, seed);
+        let edf = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg).energy();
+        for kind in [PolicyKind::StaticEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
+            let e = simulate(&tasks, &machine, kind, &cfg).energy();
+            prop_assert!(e <= edf + 1e-6, "{} used {e} > plain {edf}", kind.name());
+        }
+        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
+        let rm = simulate(&tasks, &machine, PolicyKind::PlainRm, &cfg).energy();
+        for kind in [
+            PolicyKind::StaticRm(RmTest::SchedulingPoints),
+            PolicyKind::CcRm(RmTest::SchedulingPoints),
+        ] {
+            let e = simulate(&tasks, &machine, kind, &cfg).energy();
+            prop_assert!(e <= rm + 1e-6, "{} used {e} > plain RM {rm}", kind.name());
+        }
+    }
+
+    /// §2.5: "at most, they require 2 frequency/voltage switches per task
+    /// per invocation" — plus the initial setting.
+    #[test]
+    fn at_most_two_switches_per_invocation(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(exec, seed);
+        for kind in PolicyKind::paper_six() {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            let releases: u64 = report.task_stats.iter().map(|s| s.releases).sum();
+            prop_assert!(
+                report.switches <= 2 * releases + 1,
+                "{}: {} switches for {releases} releases",
+                kind.name(),
+                report.switches
+            );
+        }
+    }
+
+    /// Static policies never switch after the initial setting.
+    #[test]
+    fn static_policies_never_switch(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(exec, seed);
+        for kind in [
+            PolicyKind::PlainEdf,
+            PolicyKind::PlainRm,
+            PolicyKind::StaticEdf,
+            PolicyKind::StaticRm(RmTest::SchedulingPoints),
+        ] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert_eq!(report.switches, 0, "{} switched", kind.name());
+        }
+    }
+
+    /// Runs are deterministic: same inputs, same report.
+    #[test]
+    fn simulation_is_deterministic(
+        tasks in task_sets(),
+        machine in machines(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(ExecModel::uniform(), seed);
+        let a = simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg);
+        let b = simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg);
+        prop_assert_eq!(a.energy(), b.energy());
+        prop_assert_eq!(a.switches, b.switches);
+        prop_assert_eq!(a.misses.len(), b.misses.len());
+    }
+
+    /// Sporadic arrivals (period = minimum inter-arrival) never break the
+    /// guarantees either: demand only shrinks.
+    #[test]
+    fn sporadic_arrivals_never_miss(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        extra_pct in 0u8..=150,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = sim_cfg(exec, seed);
+        cfg.arrival = ArrivalModel::Sporadic {
+            max_extra_fraction: f64::from(extra_pct) / 100.0,
+        };
+        for kind in [PolicyKind::PlainEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert!(
+                report.all_deadlines_met(),
+                "{} missed under sporadic arrivals",
+                kind.name()
+            );
+        }
+        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
+        for kind in [PolicyKind::PlainRm, PolicyKind::CcRm(RmTest::SchedulingPoints)] {
+            let report = simulate(&tasks, &machine, kind, &cfg);
+            prop_assert!(report.all_deadlines_met(), "{}", kind.name());
+        }
+    }
+
+    /// The statistical policy at full confidence over constant execution
+    /// behaves safely, and the manual pin at the maximum point is
+    /// equivalent to the plain baseline.
+    #[test]
+    fn manual_pin_at_max_equals_plain(
+        tasks in task_sets(),
+        machine in machines(),
+        exec in exec_models(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = sim_cfg(exec, seed);
+        let plain = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg);
+        let pinned = simulate(
+            &tasks,
+            &machine,
+            PolicyKind::Manual {
+                scheduler: rtdvs::SchedulerKind::Edf,
+                point: machine.highest(),
+            },
+            &cfg,
+        );
+        prop_assert_eq!(plain.energy(), pinned.energy());
+        prop_assert_eq!(plain.misses.len(), pinned.misses.len());
+    }
+
+    /// The generator hits its utilization target and respects C ≤ P.
+    #[test]
+    fn generator_respects_spec(
+        n in 1usize..=15,
+        upct in 5usize..=100,
+        seed in any::<u64>(),
+    ) {
+        let target = upct as f64 / 100.0;
+        let spec = TaskGenSpec::new(n, target).unwrap();
+        let set = generate(&spec, seed).expect("generator succeeds");
+        prop_assert_eq!(set.len(), n);
+        prop_assert!((set.total_utilization() - target).abs() < 1e-9);
+        for t in set.tasks() {
+            prop_assert!(t.wcet().as_ms() <= t.period().as_ms() + 1e-9);
+        }
+    }
+}
