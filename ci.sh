@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, clippy, repo-specific lints, tier-1.
+# Every step runs with no network access.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI green."

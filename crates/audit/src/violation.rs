@@ -1,0 +1,142 @@
+//! Structured audit findings.
+
+use core::fmt;
+
+use rtdvs_core::task::TaskId;
+use rtdvs_core::time::Time;
+
+/// The invariant a [`Violation`] breaks. Each rule is a machine-checkable
+/// restatement of a guarantee the paper makes (the section references are
+/// to Pillai & Shin, SOSP 2001).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// An invocation was still outstanding at its deadline.
+    DeadlineMiss,
+    /// A deadline was missed even though the policy's admission test
+    /// (condition C1, §2.2) accepted the task set.
+    GuaranteeViolated,
+    /// More operating-point switches than two per invocation plus the
+    /// initial setting (§2.5, §4.1).
+    SwitchBound,
+    /// The selected frequency does not cover the demand the policy itself
+    /// committed to (the shared "select frequency" step, §2.3–§2.5).
+    DemandCoverage,
+    /// ccEDF's per-task utilization bookkeeping does not sum back to the
+    /// worst case on releases / the actual usage on completions (§2.4).
+    CcEdfAccounting,
+    /// ccRM's outstanding allotment exceeds what the statically-scaled
+    /// schedule would grant over the pacing window (§2.4).
+    CcRmPacing,
+    /// laEDF deferred work that is due before the earliest deadline, or
+    /// planned more work than is outstanding (§2.5).
+    LaEdfDeferral,
+    /// A dynamic scheme idled above the lowest operating point (§3.2).
+    IdleAtLowest,
+    /// The trace diverges from what a faithful replay of the policy
+    /// decides (wrong point applied, unexpected review, ...).
+    PolicyDivergence,
+    /// The trace is internally inconsistent (work accrual, release
+    /// arithmetic, event ordering, missing trace, ...).
+    TraceConsistency,
+}
+
+impl Rule {
+    /// Short stable identifier (used in reports and allowlists).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::DeadlineMiss => "deadline-miss",
+            Rule::GuaranteeViolated => "guarantee-violated",
+            Rule::SwitchBound => "switch-bound",
+            Rule::DemandCoverage => "demand-coverage",
+            Rule::CcEdfAccounting => "cc-edf-accounting",
+            Rule::CcRmPacing => "cc-rm-pacing",
+            Rule::LaEdfDeferral => "la-edf-deferral",
+            Rule::IdleAtLowest => "idle-at-lowest",
+            Rule::PolicyDivergence => "policy-divergence",
+            Rule::TraceConsistency => "trace-consistency",
+        }
+    }
+
+    /// The paper section the rule formalizes (for reports).
+    #[must_use]
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            Rule::DeadlineMiss | Rule::GuaranteeViolated => "§2.2 (condition C1)",
+            Rule::SwitchBound => "§2.5 / §4.1 (two switches per invocation)",
+            Rule::DemandCoverage => "§2.3–§2.5 (select frequency)",
+            Rule::CcEdfAccounting => "§2.4 (Fig. 4)",
+            Rule::CcRmPacing => "§2.4 (Fig. 6)",
+            Rule::LaEdfDeferral => "§2.5 (Fig. 8)",
+            Rule::IdleAtLowest => "§3.2 (idle at the lowest point)",
+            Rule::PolicyDivergence | Rule::TraceConsistency => "trace replay",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One broken invariant, located in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// When the violation was observed.
+    pub time: Time,
+    /// The task involved, if the rule is task-specific.
+    pub task: Option<TaskId>,
+    /// The broken rule.
+    pub rule: Rule,
+    /// Human-readable specifics (observed vs expected values).
+    pub details: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] t={}", self.rule, self.time)?;
+        if let Some(TaskId(i)) = self.task {
+            write!(f, " T{}", i + 1)?;
+        }
+        write!(f, ": {}", self.details)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_task_and_details() {
+        let v = Violation {
+            time: Time::from_ms(8.0),
+            task: Some(TaskId(1)),
+            rule: Rule::DeadlineMiss,
+            details: "remaining 0.5".to_owned(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("deadline-miss"));
+        assert!(s.contains("T2"));
+        assert!(s.contains("remaining 0.5"));
+    }
+
+    #[test]
+    fn every_rule_has_a_name_and_section() {
+        for rule in [
+            Rule::DeadlineMiss,
+            Rule::GuaranteeViolated,
+            Rule::SwitchBound,
+            Rule::DemandCoverage,
+            Rule::CcEdfAccounting,
+            Rule::CcRmPacing,
+            Rule::LaEdfDeferral,
+            Rule::IdleAtLowest,
+            Rule::PolicyDivergence,
+            Rule::TraceConsistency,
+        ] {
+            assert!(!rule.as_str().is_empty());
+            assert!(!rule.paper_section().is_empty());
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! (O(n) Liu–Layland vs the quadratic scheduling-point test vs response
 //! time analysis) and the look-ahead deferral computation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use rtdvs_bench::microbench::bench;
 use rtdvs_core::analysis::{rm_feasible_at, static_rm_point, RmTest};
 use rtdvs_core::machine::Machine;
 use rtdvs_core::policy::LaEdf;
@@ -13,43 +11,38 @@ use rtdvs_core::time::Time;
 use rtdvs_core::view::{InvState, SystemView, TaskView};
 use rtdvs_taskgen::{generate, TaskGenSpec};
 
-fn bench_rm_tests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rm_schedulability");
+fn bench_rm_tests() {
     for n in [5usize, 20, 80] {
-        let spec = TaskGenSpec::new(n, 0.69).unwrap();
-        let tasks = generate(&spec, 41).unwrap();
+        let spec = TaskGenSpec::new(n, 0.69).expect("valid spec");
+        let tasks = generate(&spec, 41).expect("generator succeeds");
         for test in [
             RmTest::LiuLayland,
             RmTest::SchedulingPoints,
             RmTest::ResponseTime,
         ] {
-            group.bench_with_input(BenchmarkId::new(format!("{test:?}"), n), &n, |b, _| {
-                b.iter(|| black_box(rm_feasible_at(black_box(&tasks), 0.75, test)));
+            bench("rm_schedulability", &format!("{test:?}/{n}"), || {
+                rm_feasible_at(&tasks, 0.75, test)
             });
         }
     }
-    group.finish();
 }
 
-fn bench_static_point_selection(c: &mut Criterion) {
+fn bench_static_point_selection() {
     let machine = Machine::machine2();
-    let spec = TaskGenSpec::new(20, 0.6).unwrap();
-    let tasks = generate(&spec, 43).unwrap();
-    let mut group = c.benchmark_group("static_rm_point");
+    let spec = TaskGenSpec::new(20, 0.6).expect("valid spec");
+    let tasks = generate(&spec, 43).expect("generator succeeds");
     for test in [RmTest::LiuLayland, RmTest::SchedulingPoints] {
-        group.bench_function(format!("{test:?}"), |b| {
-            b.iter(|| black_box(static_rm_point(&tasks, &machine, test)));
+        bench("static_rm_point", &format!("{test:?}"), || {
+            static_rm_point(&tasks, &machine, test)
         });
     }
-    group.finish();
 }
 
-fn bench_la_edf_defer(c: &mut Criterion) {
+fn bench_la_edf_defer() {
     let machine = Machine::machine2();
-    let mut group = c.benchmark_group("la_edf_defer");
     for n in [5usize, 20, 80] {
-        let spec = TaskGenSpec::new(n, 0.7).unwrap();
-        let tasks = generate(&spec, 47).unwrap();
+        let spec = TaskGenSpec::new(n, 0.7).expect("valid spec");
+        let tasks = generate(&spec, 47).expect("generator succeeds");
         let views: Vec<TaskView> = tasks
             .tasks()
             .iter()
@@ -62,23 +55,20 @@ fn bench_la_edf_defer(c: &mut Criterion) {
             })
             .collect();
         let mut policy = LaEdf::new();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let sys = SystemView {
-                now: Time::from_ms(0.5),
-                tasks: &tasks,
-                machine: &machine,
-                views: &views,
-            };
-            b.iter(|| black_box(policy.work_due_before_next_deadline(black_box(&sys))));
+        let sys = SystemView {
+            now: Time::from_ms(0.5),
+            tasks: &tasks,
+            machine: &machine,
+            views: &views,
+        };
+        bench("la_edf_defer", &n.to_string(), || {
+            policy.work_due_before_next_deadline(&sys)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_rm_tests,
-    bench_static_point_selection,
-    bench_la_edf_defer
-);
-criterion_main!(benches);
+fn main() {
+    bench_rm_tests();
+    bench_static_point_selection();
+    bench_la_edf_defer();
+}

@@ -2,13 +2,11 @@
 //! policy — the paper argues the dynamic schemes "do not require
 //! significant processing costs" (§2.6); this measures them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use rtdvs_bench::microbench::bench;
 use rtdvs_core::machine::Machine;
 use rtdvs_core::policy::PolicyKind;
 use rtdvs_core::task::{TaskId, TaskSet};
-use rtdvs_core::time::{Time, Work};
+use rtdvs_core::time::Time;
 use rtdvs_core::view::{InvState, SystemView, TaskView};
 use rtdvs_taskgen::{generate, TaskGenSpec};
 
@@ -31,65 +29,56 @@ fn make_views(tasks: &TaskSet) -> Vec<TaskView> {
         .collect()
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let machine = Machine::machine2();
-    let mut group = c.benchmark_group("scheduling_point");
     for n in [5usize, 20, 80] {
-        let spec = TaskGenSpec::new(n, 0.7).unwrap();
-        let tasks = generate(&spec, 17).unwrap();
+        let spec = TaskGenSpec::new(n, 0.7).expect("valid spec");
+        let tasks = generate(&spec, 17).expect("generator succeeds");
         let views = make_views(&tasks);
         for kind in PolicyKind::paper_six() {
             let mut policy = kind.build();
             policy.init(&tasks, &machine);
-            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
-                let sys = SystemView {
-                    now: Time::from_ms(1.0),
-                    tasks: &tasks,
-                    machine: &machine,
-                    views: &views,
-                };
-                b.iter(|| black_box(policy.on_completion(TaskId(0), black_box(&sys))));
-            });
-        }
-    }
-    group.finish();
-}
-
-fn bench_release_path(c: &mut Criterion) {
-    let machine = Machine::machine2();
-    let spec = TaskGenSpec::new(20, 0.7).unwrap();
-    let tasks = generate(&spec, 23).unwrap();
-    let views = make_views(&tasks);
-    let mut group = c.benchmark_group("release_point");
-    for kind in [PolicyKind::CcRm(Default::default()), PolicyKind::LaEdf] {
-        let mut policy = kind.build();
-        policy.init(&tasks, &machine);
-        group.bench_function(kind.name(), |b| {
             let sys = SystemView {
-                now: Time::from_ms(0.5),
+                now: Time::from_ms(1.0),
                 tasks: &tasks,
                 machine: &machine,
                 views: &views,
             };
-            b.iter(|| black_box(policy.on_release(TaskId(1), black_box(&sys))));
+            bench("scheduling_point", &format!("{}/{n}", kind.name()), || {
+                policy.on_completion(TaskId(0), &sys)
+            });
+        }
+    }
+}
+
+fn bench_release_path() {
+    let machine = Machine::machine2();
+    let spec = TaskGenSpec::new(20, 0.7).expect("valid spec");
+    let tasks = generate(&spec, 23).expect("generator succeeds");
+    let views = make_views(&tasks);
+    for kind in [PolicyKind::CcRm(Default::default()), PolicyKind::LaEdf] {
+        let mut policy = kind.build();
+        policy.init(&tasks, &machine);
+        let sys = SystemView {
+            now: Time::from_ms(0.5),
+            tasks: &tasks,
+            machine: &machine,
+            views: &views,
+        };
+        bench("release_point", kind.name(), || {
+            policy.on_release(TaskId(1), &sys)
         });
     }
-    group.finish();
 }
 
-fn bench_view_construction(c: &mut Criterion) {
-    let spec = TaskGenSpec::new(80, 0.7).unwrap();
-    let tasks = generate(&spec, 29).unwrap();
-    c.bench_function("view_snapshot_80_tasks", |b| {
-        b.iter(|| black_box(make_views(black_box(&tasks))));
-    });
-    let _ = Work::ZERO; // keep the import obviously used
+fn bench_view_construction() {
+    let spec = TaskGenSpec::new(80, 0.7).expect("valid spec");
+    let tasks = generate(&spec, 29).expect("generator succeeds");
+    bench("views", "snapshot_80_tasks", || make_views(&tasks));
 }
 
-criterion_group!(
-    benches,
-    bench_policies,
-    bench_release_path,
-    bench_view_construction
-);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_release_path();
+    bench_view_construction();
+}

@@ -1,9 +1,7 @@
 //! Throughput of the discrete-event engine: simulated milliseconds per
 //! wall-clock second for representative workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use rtdvs_bench::microbench::bench;
 use rtdvs_core::example::table2_task_set;
 use rtdvs_core::machine::Machine;
 use rtdvs_core::policy::PolicyKind;
@@ -11,52 +9,44 @@ use rtdvs_core::time::Time;
 use rtdvs_sim::{simulate, ExecModel, SimConfig};
 use rtdvs_taskgen::{generate, TaskGenSpec};
 
-fn bench_example_set(c: &mut Criterion) {
+fn bench_example_set() {
     let tasks = table2_task_set();
     let machine = Machine::machine0();
     let cfg = SimConfig::new(Time::from_secs(1.0)).with_exec(ExecModel::uniform());
-    let mut group = c.benchmark_group("simulate_1s_example_set");
     for kind in PolicyKind::paper_six() {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| black_box(simulate(&tasks, &machine, kind, black_box(&cfg))));
+        bench("simulate_1s_example_set", kind.name(), || {
+            simulate(&tasks, &machine, kind, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_task_count_scaling(c: &mut Criterion) {
+fn bench_task_count_scaling() {
     let machine = Machine::machine0();
     let cfg = SimConfig::new(Time::from_ms(500.0)).with_exec(ExecModel::ConstantFraction(0.7));
-    let mut group = c.benchmark_group("simulate_laEDF_by_task_count");
     for n in [5usize, 10, 20, 40] {
-        let spec = TaskGenSpec::new(n, 0.7).unwrap();
-        let tasks = generate(&spec, 31).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg)));
+        let spec = TaskGenSpec::new(n, 0.7).expect("valid spec");
+        let tasks = generate(&spec, 31).expect("generator succeeds");
+        bench("simulate_laEDF_by_task_count", &n.to_string(), || {
+            simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_trace_recording_cost(c: &mut Criterion) {
+fn bench_trace_recording_cost() {
     let tasks = table2_task_set();
     let machine = Machine::machine0();
     let plain = SimConfig::new(Time::from_secs(1.0)).with_exec(ExecModel::uniform());
     let traced = plain.clone().with_trace();
-    let mut group = c.benchmark_group("trace_recording");
-    group.bench_function("off", |b| {
-        b.iter(|| black_box(simulate(&tasks, &machine, PolicyKind::CcEdf, &plain)));
+    bench("trace_recording", "off", || {
+        simulate(&tasks, &machine, PolicyKind::CcEdf, &plain)
     });
-    group.bench_function("on", |b| {
-        b.iter(|| black_box(simulate(&tasks, &machine, PolicyKind::CcEdf, &traced)));
+    bench("trace_recording", "on", || {
+        simulate(&tasks, &machine, PolicyKind::CcEdf, &traced)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_example_set,
-    bench_task_count_scaling,
-    bench_trace_recording_cost
-);
-criterion_main!(benches);
+fn main() {
+    bench_example_set();
+    bench_task_count_scaling();
+    bench_trace_recording_cost();
+}

@@ -11,6 +11,7 @@
 
 pub mod chart;
 pub mod figures;
+pub mod microbench;
 pub mod stats;
 pub mod sweep;
 pub mod taskfile;

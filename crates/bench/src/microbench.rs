@@ -1,0 +1,76 @@
+//! A minimal std-only micro-benchmark harness.
+//!
+//! The workspace must build with no network access, so the Criterion
+//! dependency is gone; the `benches/*.rs` targets (declared with
+//! `harness = false`) use this module instead. It is deliberately small:
+//! warm up, pick an iteration count that fills a fixed measurement
+//! window, report the mean. No statistics beyond that — for rigorous
+//! comparisons run the `experiments` binary's repeated sweeps.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement.
+const MEASURE_WINDOW: Duration = Duration::from_millis(25);
+
+/// Warm-up time before measuring.
+const WARMUP_WINDOW: Duration = Duration::from_millis(5);
+
+/// Times `f`, returning the mean nanoseconds per call.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the work.
+pub fn time_ns<T, F: FnMut() -> T>(mut f: F) -> f64 {
+    // Warm up and get a first cost estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP_WINDOW {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+    let iters = ((MEASURE_WINDOW.as_nanos() as f64 / est_ns) as u64).clamp(1, 10_000_000);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Prints one benchmark row in a stable, grep-friendly format.
+pub fn report(group: &str, name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else if ns >= 1_000.0 {
+        (ns / 1_000.0, "us")
+    } else {
+        (ns, "ns")
+    };
+    println!("{group}/{name:<28} {value:>10.2} {unit}/iter");
+}
+
+/// Times `f` and prints the result in one step.
+pub fn bench<T, F: FnMut() -> T>(group: &str, name: &str, f: F) {
+    let ns = time_ns(f);
+    report(group, name, ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let ns = time_ns(|| (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn report_formats_units() {
+        // Smoke: the three unit branches don't panic.
+        report("g", "ns_case", 12.0);
+        report("g", "us_case", 12_000.0);
+        report("g", "ms_case", 12_000_000.0);
+    }
+}

@@ -77,7 +77,7 @@ impl fmt::Display for Summary {
 #[must_use]
 pub fn welch_t(a: &Summary, b: &Summary) -> f64 {
     let se = (a.std_dev.powi(2) / a.n as f64 + b.std_dev.powi(2) / b.n as f64).sqrt();
-    if se == 0.0 {
+    if se <= 0.0 {
         if (a.mean - b.mean).abs() < 1e-12 {
             0.0
         } else {

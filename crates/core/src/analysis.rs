@@ -170,7 +170,7 @@ mod tests {
     use super::*;
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     #[test]
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn exact_tests_admit_more_than_liu_layland() {
         // Harmonic periods: U = 1.0 is RM-schedulable exactly, but fails LL.
-        let set = TaskSet::from_ms_pairs(&[(2.0, 1.0), (4.0, 2.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(2.0, 1.0), (4.0, 2.0)]).expect("valid task set");
         assert!((set.total_utilization() - 1.0).abs() < 1e-12);
         assert!(!rm_feasible_at(&set, 1.0, RmTest::LiuLayland));
         assert!(rm_feasible_at(&set, 1.0, RmTest::SchedulingPoints));
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn infeasible_set_has_no_static_point() {
         // U > 1: not schedulable at any frequency.
-        let set = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).expect("valid task set");
         let m = Machine::machine0();
         assert_eq!(static_edf_point(&set, &m), None);
         assert_eq!(static_rm_point(&set, &m, RmTest::SchedulingPoints), None);
@@ -238,7 +238,7 @@ mod tests {
     #[test]
     fn single_task_feasibility_threshold() {
         // One task with U = 0.6 needs α ≥ 0.6 under every test.
-        let set = TaskSet::from_ms_pairs(&[(10.0, 6.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(10.0, 6.0)]).expect("valid task set");
         for test in [
             RmTest::LiuLayland,
             RmTest::SchedulingPoints,
@@ -270,7 +270,7 @@ mod tests {
             vec![(10.0, 4.0), (15.0, 4.0), (35.0, 3.5)],
         ];
         for pairs in sets {
-            let set = TaskSet::from_ms_pairs(&pairs).unwrap();
+            let set = TaskSet::from_ms_pairs(&pairs).expect("valid task set");
             for alpha in [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0] {
                 assert_eq!(
                     rm_feasible_at(&set, alpha, RmTest::SchedulingPoints),

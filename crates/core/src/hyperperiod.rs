@@ -58,33 +58,39 @@ mod tests {
     #[test]
     fn paper_set_hyperperiod() {
         // lcm(8, 10, 14) = 280.
-        let set = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap();
-        assert_eq!(hyperperiod(&set).unwrap().as_ms(), 280.0);
+        let set = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)])
+            .expect("valid task set");
+        assert_eq!(
+            hyperperiod(&set).expect("hyperperiod exists").as_ms(),
+            280.0
+        );
     }
 
     #[test]
     fn harmonic_set() {
-        let set = TaskSet::from_ms_pairs(&[(2.0, 0.5), (4.0, 1.0), (8.0, 2.0)]).unwrap();
-        assert_eq!(hyperperiod(&set).unwrap().as_ms(), 8.0);
+        let set =
+            TaskSet::from_ms_pairs(&[(2.0, 0.5), (4.0, 1.0), (8.0, 2.0)]).expect("valid task set");
+        assert_eq!(hyperperiod(&set).expect("hyperperiod exists").as_ms(), 8.0);
     }
 
     #[test]
     fn fractional_periods_on_grid() {
-        let set = TaskSet::from_ms_pairs(&[(2.5, 1.0), (4.0, 1.0)]).unwrap();
-        assert_eq!(hyperperiod(&set).unwrap().as_ms(), 20.0);
+        let set = TaskSet::from_ms_pairs(&[(2.5, 1.0), (4.0, 1.0)]).expect("valid task set");
+        assert_eq!(hyperperiod(&set).expect("hyperperiod exists").as_ms(), 20.0);
     }
 
     #[test]
     fn coprime_sub_millisecond_periods() {
-        let set = TaskSet::from_ms_pairs(&[(0.003, 0.001), (0.007, 0.002)]).unwrap();
-        assert!((hyperperiod(&set).unwrap().as_ms() - 0.021).abs() < 1e-12);
+        let set =
+            TaskSet::from_ms_pairs(&[(0.003, 0.001), (0.007, 0.002)]).expect("valid task set");
+        assert!((hyperperiod(&set).expect("hyperperiod exists").as_ms() - 0.021).abs() < 1e-12);
     }
 
     #[test]
     fn absurd_lcm_returns_none() {
         // Near-coprime long periods blow past the cap.
-        let set =
-            TaskSet::from_ms_pairs(&[(999.983, 1.0), (999.979, 1.0), (999.961, 1.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(999.983, 1.0), (999.979, 1.0), (999.961, 1.0)])
+            .expect("valid task set");
         assert_eq!(hyperperiod(&set), None);
     }
 

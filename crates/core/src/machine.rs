@@ -16,7 +16,6 @@ pub type PointIdx = usize;
 
 /// One frequency/voltage pair the processor can run at.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OperatingPoint {
     /// Normalized frequency in `(0, 1]`.
     pub freq: f64,
@@ -63,7 +62,6 @@ impl fmt::Display for OperatingPoint {
 /// A DVS-capable machine: its list of operating points, sorted by ascending
 /// frequency, with the maximum normalized frequency equal to 1.0.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Machine {
     name: String,
     points: Vec<OperatingPoint>,
@@ -368,7 +366,7 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_sorted() {
-        let m = Machine::new("m", &[(1.0, 5.0), (0.5, 3.0)]).unwrap();
+        let m = Machine::new("m", &[(1.0, 5.0), (0.5, 3.0)]).expect("valid machine");
         assert_eq!(m.point(0).freq, 0.5);
         assert_eq!(m.point(1).freq, 1.0);
     }
@@ -404,7 +402,9 @@ mod tests {
     #[test]
     fn lowest_point_where_finds_first_match() {
         let m = Machine::machine2();
-        let idx = m.lowest_point_where(|p| p.volts >= 1.7).unwrap();
+        let idx = m
+            .lowest_point_where(|p| p.volts >= 1.7)
+            .expect("a point qualifies");
         assert_eq!(m.point(idx).freq, 0.73);
         assert!(m.lowest_point_where(|p| p.volts > 99.0).is_none());
     }

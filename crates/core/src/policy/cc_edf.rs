@@ -91,7 +91,7 @@ mod tests {
     use crate::view::{InvState, TaskView};
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     fn views(entries: &[(InvState, f64, f64)]) -> Vec<TaskView> {
@@ -205,7 +205,7 @@ mod tests {
     fn guarantees_follow_edf_bound() {
         let p = CcEdf::new();
         assert!(p.guarantees(&paper_set()));
-        let over = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).unwrap();
+        let over = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).expect("valid task set");
         assert!(!p.guarantees(&over));
     }
 }

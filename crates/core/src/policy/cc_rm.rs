@@ -193,7 +193,7 @@ mod tests {
     use crate::view::{InvState, TaskView};
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     struct Harness {
@@ -342,7 +342,7 @@ mod tests {
         // A harmonic set at U = 1 is exactly RM-schedulable, so the exact
         // test paces at α = 1.0 while Liu–Layland refuses every point and
         // falls back to α = 1.0 as well — but at U = 0.75 they differ.
-        let tasks = TaskSet::from_ms_pairs(&[(2.0, 0.75), (4.0, 1.5)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(2.0, 0.75), (4.0, 1.5)]).expect("valid task set");
         let machine = Machine::machine0();
         let mut exact = CcRm::new(RmTest::SchedulingPoints);
         exact.init(&tasks, &machine);

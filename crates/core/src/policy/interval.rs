@@ -154,7 +154,7 @@ mod tests {
     use crate::view::{InvState, TaskView};
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     #[test]

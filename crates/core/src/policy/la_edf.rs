@@ -160,7 +160,7 @@ mod tests {
     use crate::view::{InvState, TaskView};
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     struct Harness {
@@ -263,7 +263,7 @@ mod tests {
     /// be deferred below full speed at the critical instant.
     #[test]
     fn full_utilization_demands_full_speed() {
-        let tasks = TaskSet::from_ms_pairs(&[(4.0, 2.0), (8.0, 4.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(4.0, 2.0), (8.0, 4.0)]).expect("valid task set");
         let machine = Machine::machine0();
         let views: Vec<TaskView> = tasks
             .tasks()
@@ -315,7 +315,7 @@ mod tests {
     fn guarantees_follow_edf_bound() {
         let p = LaEdf::new();
         assert!(p.guarantees(&paper_set()));
-        let over = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).unwrap();
+        let over = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).expect("valid task set");
         assert!(!p.guarantees(&over));
     }
 }

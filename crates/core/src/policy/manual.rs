@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn pins_and_clamps() {
-        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0)]).expect("valid task set");
         let machine = Machine::machine0();
         let mut p = ManualDvs::new(SchedulerKind::Rm, 99);
         assert_eq!(p.init(&tasks, &machine), machine.highest());

@@ -287,7 +287,8 @@ mod tests {
     #[test]
     fn scheduler_guarantees_edf_vs_rm() {
         // The paper's example set: EDF-feasible, RM-feasible only at 1.0.
-        let set = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)])
+            .expect("valid task set");
         assert!(scheduler_guarantees(
             SchedulerKind::Edf,
             &set,
@@ -299,7 +300,7 @@ mod tests {
             RmTest::default()
         ));
         // A set schedulable under EDF but not under RM.
-        let tight = TaskSet::from_ms_pairs(&[(10.0, 5.0), (14.0, 6.9)]).unwrap();
+        let tight = TaskSet::from_ms_pairs(&[(10.0, 5.0), (14.0, 6.9)]).expect("valid task set");
         assert!(scheduler_guarantees(
             SchedulerKind::Edf,
             &tight,

@@ -99,7 +99,7 @@ mod tests {
     use super::*;
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     #[test]
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn low_utilization_set_scales_to_lowest() {
-        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (20.0, 2.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (20.0, 2.0)]).expect("valid task set");
         let m = Machine::machine0();
         let mut edf = StaticDvs::edf();
         assert_eq!(edf.init(&set, &m), 0);
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn infeasible_set_saturates_at_max() {
-        let set = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(2.0, 1.5), (4.0, 3.0)]).expect("valid task set");
         let m = Machine::machine0();
         let mut edf = StaticDvs::edf();
         assert_eq!(edf.init(&set, &m), m.highest());

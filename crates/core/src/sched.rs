@@ -13,7 +13,6 @@ use crate::time::Time;
 
 /// Which real-time scheduler a policy pairs with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchedulerKind {
     /// Earliest-Deadline-First: dynamic priority by absolute deadline.
     Edf,
@@ -66,7 +65,7 @@ mod tests {
     use super::*;
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     #[test]
@@ -94,7 +93,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_id() {
-        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (10.0, 1.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (10.0, 1.0)]).expect("valid task set");
         let ready = vec![
             (TaskId(1), Time::from_ms(10.0)),
             (TaskId(0), Time::from_ms(10.0)),

@@ -12,7 +12,6 @@ use crate::time::{Time, Work, EPS};
 
 /// Identifier of a task within a [`TaskSet`]: its index in the set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(pub usize);
 
 impl fmt::Display for TaskId {
@@ -27,7 +26,6 @@ impl fmt::Display for TaskId {
 /// The offset is zero in the paper's model (synchronous release at time 0);
 /// it is provided as an extension and defaults to zero everywhere.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Task {
     period: Time,
     wcet: Work,
@@ -195,7 +193,6 @@ impl std::error::Error for TaskError {}
 /// (ascending period, ties broken by index) used by the RM scheduler and
 /// the RM schedulability tests.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskSet {
     tasks: Vec<Task>,
     rm_order: Vec<TaskId>,
@@ -370,12 +367,12 @@ mod tests {
     use super::*;
 
     fn paper_set() -> TaskSet {
-        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).unwrap()
+        TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)]).expect("valid task set")
     }
 
     #[test]
     fn task_accessors() {
-        let t = Task::from_ms(8.0, 3.0).unwrap();
+        let t = Task::from_ms(8.0, 3.0).expect("valid task");
         assert_eq!(t.period().as_ms(), 8.0);
         assert_eq!(t.wcet().as_ms(), 3.0);
         assert_eq!(t.offset(), Time::ZERO);
@@ -384,7 +381,7 @@ mod tests {
 
     #[test]
     fn task_release_and_deadline() {
-        let t = Task::from_ms(8.0, 3.0).unwrap();
+        let t = Task::from_ms(8.0, 3.0).expect("valid task");
         assert_eq!(t.release_time(0).as_ms(), 0.0);
         assert_eq!(t.release_time(2).as_ms(), 16.0);
         assert_eq!(t.deadline(0).as_ms(), 8.0);
@@ -393,8 +390,8 @@ mod tests {
 
     #[test]
     fn offset_shifts_releases() {
-        let t =
-            Task::with_offset(Time::from_ms(10.0), Work::from_ms(2.0), Time::from_ms(3.0)).unwrap();
+        let t = Task::with_offset(Time::from_ms(10.0), Work::from_ms(2.0), Time::from_ms(3.0))
+            .expect("valid task");
         assert_eq!(t.release_time(0).as_ms(), 3.0);
         assert_eq!(t.deadline(1).as_ms(), 23.0);
     }
@@ -438,8 +435,8 @@ mod tests {
 
     #[test]
     fn rm_order_sorts_by_period_then_id() {
-        let set =
-            TaskSet::from_ms_pairs(&[(10.0, 1.0), (8.0, 1.0), (10.0, 2.0), (5.0, 1.0)]).unwrap();
+        let set = TaskSet::from_ms_pairs(&[(10.0, 1.0), (8.0, 1.0), (10.0, 2.0), (5.0, 1.0)])
+            .expect("valid task set");
         let order: Vec<usize> = set.rm_order().iter().map(|id| id.0).collect();
         assert_eq!(order, vec![3, 1, 0, 2]);
     }
@@ -447,11 +444,13 @@ mod tests {
     #[test]
     fn with_task_appends() {
         let set = paper_set();
-        let bigger = set.with_task(Task::from_ms(20.0, 1.0).unwrap()).unwrap();
+        let bigger = set
+            .with_task(Task::from_ms(20.0, 1.0).expect("valid task"))
+            .expect("still schedulable");
         assert_eq!(bigger.len(), 4);
         assert_eq!(bigger.task(TaskId(3)).period().as_ms(), 20.0);
         // RM order puts the new long-period task last.
-        assert_eq!(*bigger.rm_order().last().unwrap(), TaskId(3));
+        assert_eq!(*bigger.rm_order().last().expect("non-empty set"), TaskId(3));
     }
 
     #[test]
@@ -468,8 +467,10 @@ mod tests {
 
     #[test]
     fn wcet_inflation() {
-        let t = Task::from_ms(10.0, 3.0).unwrap();
-        let inflated = t.with_inflated_wcet(Work::from_ms(0.8)).unwrap();
+        let t = Task::from_ms(10.0, 3.0).expect("valid task");
+        let inflated = t
+            .with_inflated_wcet(Work::from_ms(0.8))
+            .expect("inflation fits the period");
         assert_eq!(inflated.wcet().as_ms(), 3.8);
         assert_eq!(inflated.period().as_ms(), 10.0);
         // Inflation past the period is rejected.
@@ -482,12 +483,14 @@ mod tests {
     #[test]
     fn set_wcet_inflation() {
         let set = paper_set();
-        let inflated = set.with_inflated_wcets(Work::from_ms(0.5)).unwrap();
+        let inflated = set
+            .with_inflated_wcets(Work::from_ms(0.5))
+            .expect("inflation fits the periods");
         assert_eq!(inflated.task(TaskId(0)).wcet().as_ms(), 3.5);
         assert_eq!(inflated.task(TaskId(2)).wcet().as_ms(), 1.5);
         // A set with a task near its period cannot absorb large stalls;
         // the error names the offending task.
-        let tight = TaskSet::from_ms_pairs(&[(8.0, 3.0), (2.0, 1.9)]).unwrap();
+        let tight = TaskSet::from_ms_pairs(&[(8.0, 3.0), (2.0, 1.9)]).expect("valid task set");
         let err = tight.with_inflated_wcets(Work::from_ms(0.5)).unwrap_err();
         assert!(matches!(err, TaskSetError::Task { id: TaskId(1), .. }));
     }

@@ -37,13 +37,11 @@ pub fn approx_eq(a: f64, b: f64) -> bool {
 
 /// An instant or duration in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(f64);
 
 /// An amount of computation, in milliseconds of execution at the maximum
 /// processor frequency.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Work(f64);
 
 impl Time {

@@ -101,19 +101,14 @@ impl<'a> SystemView<'a> {
     /// never changes the paper's behavior.
     #[must_use]
     pub fn earliest_deadline(&self) -> Time {
-        let earliest = self
-            .views
+        self.views
             .iter()
             .map(|v| v.deadline)
             .filter(|d| d.as_ms() > self.now.as_ms() + crate::time::EPS)
-            .fold(Time::from_ms(f64::MAX), Time::min);
-        if earliest.as_ms() == f64::MAX {
+            .reduce(Time::min)
             // No future deadline (possible only between callbacks with an
             // empty system); degenerate to an empty horizon.
-            self.now
-        } else {
-            earliest
-        }
+            .unwrap_or(self.now)
     }
 
     /// The earliest future scheduling boundary: the first deadline *or
@@ -132,12 +127,11 @@ impl<'a> SystemView<'a> {
             .iter()
             .map(|v| v.next_release)
             .filter(|t| t.as_ms() > self.now.as_ms() + crate::time::EPS)
-            .fold(Time::from_ms(f64::MAX), Time::min);
+            .reduce(Time::min);
         let deadline_boundary = self.earliest_deadline();
-        if next_release.as_ms() == f64::MAX {
-            deadline_boundary
-        } else {
-            deadline_boundary.min(next_release)
+        match next_release {
+            Some(release) => deadline_boundary.min(release),
+            None => deadline_boundary,
         }
     }
 
@@ -180,7 +174,7 @@ mod tests {
 
     #[test]
     fn earliest_deadline_includes_completed_tasks() {
-        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).expect("valid task set");
         let machine = Machine::machine0();
         let views = vec![
             view(InvState::Completed, 3.0, 8.0),
@@ -199,7 +193,7 @@ mod tests {
 
     #[test]
     fn earliest_deadline_skips_lapsed_and_current_deadlines() {
-        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).expect("valid task set");
         let machine = Machine::machine0();
         // T1's deadline has lapsed (sporadic gap); T2's is exactly now.
         let mut views = vec![
@@ -227,7 +221,7 @@ mod tests {
 
     #[test]
     fn earliest_boundary_caps_at_next_release() {
-        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).expect("valid task set");
         let machine = Machine::machine0();
         // T1: active with deadline 20. T2: completed, deadline lapsed, but
         // its *next release* at 12 bounds the pacing window.
@@ -261,7 +255,7 @@ mod tests {
     fn boundary_equals_deadline_in_the_periodic_model() {
         // With deadline == next_release (the paper's model), the two
         // horizons coincide.
-        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).unwrap();
+        let tasks = TaskSet::from_ms_pairs(&[(8.0, 3.0), (10.0, 3.0)]).expect("valid task set");
         let machine = Machine::machine0();
         let views = vec![
             view(InvState::Completed, 3.0, 8.0),

@@ -6,11 +6,9 @@
 //! task's per-invocation CPU demand is supplied by a [`TaskBody`], which
 //! plays the role of the user-level loop.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use rtdvs_core::task::Task;
 use rtdvs_core::time::{Time, Work};
+use rtdvs_taskgen::SplitMix64;
 
 /// Supplies the actual computation demand of each invocation.
 pub trait TaskBody: Send {
@@ -60,7 +58,7 @@ impl TaskBody for FractionBody {
 /// deterministically from its seed.
 #[derive(Debug)]
 pub struct UniformBody {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl UniformBody {
@@ -68,14 +66,14 @@ impl UniformBody {
     #[must_use]
     pub fn new(seed: u64) -> UniformBody {
         UniformBody {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 }
 
 impl TaskBody for UniformBody {
     fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
-        spec.wcet() * self.rng.random_range(0.0..=1.0)
+        spec.wcet() * self.rng.range_f64_inclusive(0.0, 1.0)
     }
 }
 

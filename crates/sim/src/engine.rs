@@ -12,19 +12,17 @@
 //! while the ready queue is empty the processor halts at the policy's idle
 //! point.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::policy::{DvsPolicy, PolicyKind};
 use rtdvs_core::task::{TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
 use rtdvs_core::view::{InvState, SystemView, TaskView};
+use rtdvs_taskgen::SplitMix64;
 
 use crate::config::{MissPolicy, SimConfig};
 use crate::energy::EnergyMeter;
 use crate::report::{DeadlineMiss, SimReport, TaskStats};
-use crate::trace::{Activity, Trace};
+use crate::trace::{Activity, Trace, TraceEvent};
 
 /// Runs `kind` on `tasks`/`machine` under `cfg`.
 ///
@@ -77,7 +75,7 @@ struct Engine<'a> {
     now: Time,
     rt: Vec<TaskRt>,
     meter: EnergyMeter,
-    rng: StdRng,
+    rng: SplitMix64,
     trace: Option<Trace>,
     /// The operating point currently applied to the hardware; `None` until
     /// the first interval begins.
@@ -121,7 +119,7 @@ impl<'a> Engine<'a> {
             now: Time::ZERO,
             rt,
             meter: EnergyMeter::new(machine.len(), cfg.idle_level),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: SplitMix64::seed_from_u64(cfg.seed),
             trace: cfg.record_trace.then(Trace::new),
             applied: None,
             stall_until: Time::ZERO,
@@ -169,6 +167,13 @@ impl<'a> Engine<'a> {
         self.rt[i].executed = self.rt[i].actual;
         self.rt[i].state = InvState::Completed;
         self.stats[i].record_completion(self.rt[i].deadline - self.now);
+        if let Some(tr) = &mut self.trace {
+            tr.record_event(TraceEvent::Completion {
+                time: self.now,
+                task: TaskId(i),
+                executed: self.rt[i].executed,
+            });
+        }
         self.notify(TaskId(i), false);
     }
 
@@ -179,9 +184,10 @@ impl<'a> Engine<'a> {
         match self.cfg.arrival {
             crate::config::ArrivalModel::Periodic => period,
             crate::config::ArrivalModel::Sporadic { max_extra_fraction } => {
-                use rand::RngExt as _;
                 debug_assert!(max_extra_fraction >= 0.0);
-                let extra: f64 = self.rng.random_range(0.0..=max_extra_fraction.max(0.0));
+                let extra: f64 = self
+                    .rng
+                    .range_f64_inclusive(0.0, max_extra_fraction.max(0.0));
                 period + period * extra
             }
         }
@@ -195,6 +201,15 @@ impl<'a> Engine<'a> {
             invocation: self.rt[i].invocation,
             remaining: self.remaining(i),
         });
+        let remaining = self.remaining(i);
+        if let Some(tr) = &mut self.trace {
+            tr.record_event(TraceEvent::Miss {
+                time: self.now,
+                task: TaskId(i),
+                deadline: self.rt[i].deadline,
+                remaining,
+            });
+        }
         let period = self.tasks.task(TaskId(i)).period();
         match self.cfg.miss_policy {
             MissPolicy::DropRemaining => {
@@ -233,6 +248,17 @@ impl<'a> Engine<'a> {
             &mut self.rng,
         );
         self.stats[i].releases += 1;
+        if let Some(tr) = &mut self.trace {
+            let rt = &self.rt[i];
+            tr.record_event(TraceEvent::Release {
+                time: self.now,
+                task: TaskId(i),
+                invocation: rt.invocation,
+                deadline: rt.deadline,
+                next_release: rt.next_release,
+                actual: rt.actual,
+            });
+        }
         self.notify(TaskId(i), true);
     }
 
@@ -309,12 +335,52 @@ impl<'a> Engine<'a> {
         self.applied = Some(desired);
     }
 
+    /// Sanitizer-style internal-consistency checks, compiled in under the
+    /// `audit` feature or any debug build and absent from release builds.
+    /// These guard the engine itself; the paper-level invariants (switch
+    /// bounds, demand coverage, idle points) are checked post-hoc by
+    /// `rtdvs-audit`'s `TraceAuditor`, which replays the recorded trace.
+    #[cfg(any(feature = "audit", debug_assertions))]
+    fn sanitize(&self, prev: Time) {
+        assert!(
+            prev.at_or_before(self.now),
+            "engine time ran backwards: {prev} -> {}",
+            self.now
+        );
+        if let Some(p) = self.applied {
+            assert!(p < self.machine.len(), "applied point {p} out of range");
+        }
+        for (i, s) in self.rt.iter().enumerate() {
+            assert!(
+                s.executed.as_ms() <= s.actual.as_ms() + EPS,
+                "T{} executed {} past its sampled work {}",
+                i + 1,
+                s.executed,
+                s.actual
+            );
+            if s.state == InvState::Active {
+                assert!(
+                    s.deadline.at_or_before(s.next_release),
+                    "T{}: deadline {} after next release {}",
+                    i + 1,
+                    s.deadline,
+                    s.next_release
+                );
+            }
+        }
+    }
+
+    #[cfg(not(any(feature = "audit", debug_assertions)))]
+    #[inline]
+    fn sanitize(&self, _prev: Time) {}
+
     fn run(mut self) -> SimReport {
         self.policy.init(self.tasks, self.machine);
         // Release everything due at t = 0.
         self.process_due_events(true);
 
         loop {
+            let prev_now = self.now;
             // Grant any due policy review (e.g. laEDF re-planning at its
             // deferral boundary when no release landed there — possible
             // only under sporadic arrivals).
@@ -328,6 +394,9 @@ impl<'a> Engine<'a> {
                         views: &views,
                     };
                     self.policy.on_review(&sys);
+                    if let Some(tr) = &mut self.trace {
+                        tr.record_event(TraceEvent::Review { time: self.now });
+                    }
                 }
             }
 
@@ -396,6 +465,7 @@ impl<'a> Engine<'a> {
                 }
             }
             self.now = t_next;
+            self.sanitize(prev_now);
 
             if self.now.as_ms() >= self.cfg.duration.as_ms() - EPS {
                 // Completions landing exactly on the horizon still count;

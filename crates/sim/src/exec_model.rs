@@ -7,11 +7,9 @@
 //! random fraction, the full worst case, or an explicit per-invocation
 //! trace (used for the Table 3 examples).
 
-use rand::rngs::StdRng;
-use rand::RngExt;
-
 use rtdvs_core::task::{Task, TaskId};
 use rtdvs_core::time::Work;
+use rtdvs_taskgen::SplitMix64;
 
 /// Per-invocation actual computation model.
 #[derive(Debug, Clone)]
@@ -52,7 +50,7 @@ impl ExecModel {
     ///
     /// Panics (in debug builds) if a fraction parameter is outside
     /// `[0, 1]`; clamping keeps release builds safe.
-    pub fn sample(&self, task: TaskId, spec: &Task, invocation: u64, rng: &mut StdRng) -> Work {
+    pub fn sample(&self, task: TaskId, spec: &Task, invocation: u64, rng: &mut SplitMix64) -> Work {
         let wcet = spec.wcet();
         let raw = match self {
             ExecModel::Wcet => wcet,
@@ -62,7 +60,7 @@ impl ExecModel {
             }
             ExecModel::UniformFraction { lo, hi } => {
                 debug_assert!(lo <= hi && *lo >= 0.0 && *hi <= 1.0);
-                let f = rng.random_range(*lo..=*hi);
+                let f = rng.range_f64_inclusive(*lo, *hi);
                 wcet * f
             }
             ExecModel::Trace(times) => {
@@ -95,15 +93,14 @@ impl ExecModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rtdvs_core::task::Task;
 
     fn task() -> Task {
         Task::from_ms(10.0, 4.0).unwrap()
     }
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(42)
     }
 
     #[test]
@@ -185,13 +182,13 @@ mod tests {
     fn determinism_with_same_seed() {
         let m = ExecModel::uniform();
         let a: Vec<f64> = {
-            let mut r = StdRng::seed_from_u64(7);
+            let mut r = SplitMix64::seed_from_u64(7);
             (1..=10)
                 .map(|i| m.sample(TaskId(0), &task(), i, &mut r).as_ms())
                 .collect()
         };
         let b: Vec<f64> = {
-            let mut r = StdRng::seed_from_u64(7);
+            let mut r = SplitMix64::seed_from_u64(7);
             (1..=10)
                 .map(|i| m.sample(TaskId(0), &task(), i, &mut r).as_ms())
                 .collect()

@@ -13,14 +13,12 @@
 //! correct): periodic arrivals, [`MissPolicy::DropRemaining`], no switch
 //! overheads, no trace.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use rtdvs_core::machine::Machine;
 use rtdvs_core::policy::PolicyKind;
 use rtdvs_core::task::{TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
 use rtdvs_core::view::{InvState, SystemView, TaskView};
+use rtdvs_taskgen::SplitMix64;
 
 use crate::config::{ArrivalModel, MissPolicy, SimConfig};
 
@@ -66,7 +64,7 @@ pub fn simulate_reference(
 
     let mut policy = kind.build();
     policy.init(tasks, machine);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
 
     struct Rt {
         invocation: u64,

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::task::TaskId;
-use rtdvs_core::time::Time;
+use rtdvs_core::time::{Time, Work};
 
 /// What the processor was doing during a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +41,78 @@ impl Segment {
     }
 }
 
+/// A scheduling event, journaled in engine order.
+///
+/// Segments say what the processor *did*; events say what the scheduler
+/// *decided* and *observed*. Together they let an external auditor
+/// (`rtdvs-audit`) replay a run exactly — including the sampled actual
+/// computation times — without re-running the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An invocation was released.
+    Release {
+        /// Release instant.
+        time: Time,
+        /// The released task.
+        task: TaskId,
+        /// 1-based invocation counter.
+        invocation: u64,
+        /// Absolute deadline of this invocation.
+        deadline: Time,
+        /// The following release instant (differs from `time + period`
+        /// only under sporadic arrivals).
+        next_release: Time,
+        /// The sampled actual computation requirement.
+        actual: Work,
+    },
+    /// An invocation finished all of its sampled work.
+    Completion {
+        /// Completion instant.
+        time: Time,
+        /// The completing task.
+        task: TaskId,
+        /// Total work the invocation executed.
+        executed: Work,
+    },
+    /// An invocation was still outstanding at its deadline.
+    Miss {
+        /// The instant the miss was processed.
+        time: Time,
+        /// The task that missed.
+        task: TaskId,
+        /// The deadline that passed.
+        deadline: Time,
+        /// Work left unfinished.
+        remaining: Work,
+    },
+    /// The policy's requested review ([`review_at`]) was granted.
+    ///
+    /// [`review_at`]: rtdvs_core::policy::DvsPolicy::review_at
+    Review {
+        /// The review instant.
+        time: Time,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event occurred.
+    #[must_use]
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Release { time, .. }
+            | TraceEvent::Completion { time, .. }
+            | TraceEvent::Miss { time, .. }
+            | TraceEvent::Review { time } => time,
+        }
+    }
+}
+
 /// Records segments, merging adjacent ones with identical activity and
-/// operating point.
+/// operating point, plus a journal of scheduling events.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     segments: Vec<Segment>,
+    events: Vec<TraceEvent>,
 }
 
 impl Trace {
@@ -75,10 +142,22 @@ impl Trace {
         });
     }
 
+    /// Journals a scheduling event (engine order is preserved exactly;
+    /// simultaneous events stay in processing order).
+    pub fn record_event(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
     /// The recorded segments in time order.
     #[must_use]
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// The journaled scheduling events in engine processing order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
     }
 
     /// Segments during which `task` ran.

@@ -18,11 +18,12 @@
 
 use core::fmt;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use rtdvs_core::task::{Task, TaskSet};
 use rtdvs_core::time::{Time, Work};
+
+pub mod rng;
+
+pub use rng::SplitMix64;
 
 /// The paper's three period bands, in milliseconds.
 pub const PERIOD_BANDS_MS: [(f64, f64); 3] = [(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)];
@@ -121,9 +122,9 @@ impl std::error::Error for TaskGenError {}
 
 /// Draws one value from a banded distribution: pick a band uniformly,
 /// then a value uniformly within it.
-fn banded(bands: &[(f64, f64)], rng: &mut StdRng) -> f64 {
-    let (lo, hi) = bands[rng.random_range(0..bands.len())];
-    rng.random_range(lo..hi)
+fn banded(bands: &[(f64, f64)], rng: &mut SplitMix64) -> f64 {
+    let (lo, hi) = bands[rng.index(bands.len())];
+    rng.range_f64(lo, hi)
 }
 
 /// Generates one task set for `spec`, deterministically from `seed`.
@@ -138,7 +139,7 @@ fn banded(bands: &[(f64, f64)], rng: &mut StdRng) -> f64 {
 /// Returns [`TaskGenError::Exhausted`] if no valid set is found, which does
 /// not happen for the paper's parameter ranges (n ≥ 2, U ≤ 1).
 pub fn generate(spec: &TaskGenSpec, seed: u64) -> Result<TaskSet, TaskGenError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     const MAX_ATTEMPTS: usize = 10_000;
     for _ in 0..MAX_ATTEMPTS {
         let periods: Vec<f64> = (0..spec.n_tasks)

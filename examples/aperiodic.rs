@@ -8,10 +8,8 @@
 //! cargo run --example aperiodic
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use rtdvs::kernel::{FractionBody, RtKernel};
+use rtdvs::taskgen::SplitMix64;
 use rtdvs::{Machine, PolicyKind, Time, Work};
 
 fn main() {
@@ -43,14 +41,14 @@ fn main() {
     );
 
     // Sporadic events: Poisson-ish arrivals over two simulated seconds.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::seed_from_u64(99);
     let mut submitted = 0usize;
     let mut t: f64 = 0.0;
     while t < 2000.0 {
-        t += rng.random_range(20.0..160.0);
+        t += rng.range_f64(20.0, 160.0);
         kernel.run_until(Time::from_ms(t.min(2000.0)));
         if t < 2000.0 {
-            let work = Work::from_ms(rng.random_range(0.5..4.5));
+            let work = Work::from_ms(rng.range_f64(0.5, 4.5));
             server.submit(work, kernel.now());
             submitted += 1;
         }

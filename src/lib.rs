@@ -10,6 +10,8 @@
 //!   baseline;
 //! * [`sim`] — the discrete-event DVS simulator with `E ∝ V²` energy
 //!   accounting, execution traces, and the theoretical lower bound;
+//! * [`audit`] — the invariant audit layer: replays recorded traces and
+//!   machine-checks the paper's guarantees;
 //! * [`taskgen`] — the paper's three-band random workload generator;
 //! * [`platform`] — AMD K6-2+ PowerNow! and HP N3350 power models;
 //! * [`kernel`] — the virtual-time RTOS layer with pluggable policy
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use rtdvs_audit as audit;
 pub use rtdvs_core as core;
 pub use rtdvs_kernel as kernel;
 pub use rtdvs_platform as platform;

@@ -134,12 +134,14 @@ fn kernel_time_edges() {
     kernel.run_until(ms(150.0));
     assert_eq!(kernel.misses().count(), 0);
     // Ten full invocations fit in [50, 150].
-    assert!(kernel
-        .log()
-        .iter()
-        .filter(|(_, ev)| matches!(ev, rtdvs::kernel::KernelEvent::Released { .. }))
-        .count()
-        >= 10);
+    assert!(
+        kernel
+            .log()
+            .iter()
+            .filter(|(_, ev)| matches!(ev, rtdvs::kernel::KernelEvent::Released { .. }))
+            .count()
+            >= 10
+    );
 }
 
 /// Admission at exactly U = 1.0 is accepted for EDF and runs without

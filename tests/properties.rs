@@ -1,292 +1,333 @@
-//! Property-based tests of the whole stack: for arbitrary schedulable task
-//! sets and arbitrary actual-computation behavior, the RT-DVS policies
-//! must never miss a deadline, never beat the theoretical bound, never
-//! waste more energy than the non-DVS baseline, and never switch more than
-//! twice per invocation.
-
-use proptest::prelude::*;
+//! Seeded-random property tests of the whole stack: for arbitrary
+//! schedulable task sets and arbitrary actual-computation behavior, the
+//! RT-DVS policies must never miss a deadline, never beat the theoretical
+//! bound, never waste more energy than the non-DVS baseline, and never
+//! switch more than twice per invocation.
+//!
+//! These were proptest suites; they now draw their cases from the
+//! workspace's own `SplitMix64` so the whole tree builds offline. Every
+//! case is a pure function of the fixed base seed, so failures reproduce
+//! exactly.
 
 use rtdvs::core::analysis::{rm_feasible_at, RmTest};
 use rtdvs::sim::config::ArrivalModel;
 use rtdvs::sim::theoretical_bound;
-use rtdvs::taskgen::{generate, TaskGenSpec};
+use rtdvs::taskgen::{generate, SplitMix64, TaskGenSpec};
 use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, TaskSet, Time};
 
-/// Strategy: a generated task set plus the spec that produced it.
-fn task_sets() -> impl Strategy<Value = TaskSet> {
-    (1usize..=8, 5usize..=99, any::<u64>()).prop_map(|(n, upct, seed)| {
-        let spec = TaskGenSpec::new(n, upct as f64 / 100.0).unwrap();
-        generate(&spec, seed).expect("generator succeeds")
-    })
+/// Cases per property. Proptest ran 48; these run a comparable amount
+/// with none of the shrinking machinery (a failing case prints its index,
+/// which is all that is needed to reproduce it).
+const CASES: u64 = 48;
+
+/// One drawn scenario: a task set, a machine, an execution model, and the
+/// simulation seed.
+struct Scenario {
+    tasks: TaskSet,
+    machine: Machine,
+    exec: ExecModel,
+    cfg: SimConfig,
 }
 
-fn machines() -> impl Strategy<Value = Machine> {
-    prop_oneof![
-        Just(Machine::machine0()),
-        Just(Machine::machine1()),
-        Just(Machine::machine2()),
-    ]
+fn draw_machine(r: &mut SplitMix64) -> Machine {
+    match r.index(3) {
+        0 => Machine::machine0(),
+        1 => Machine::machine1(),
+        _ => Machine::machine2(),
+    }
 }
 
-fn exec_models() -> impl Strategy<Value = ExecModel> {
-    prop_oneof![
-        Just(ExecModel::Wcet),
-        (0.05f64..=1.0).prop_map(ExecModel::ConstantFraction),
-        (0.0f64..0.5, 0.5f64..=1.0).prop_map(|(lo, hi)| ExecModel::UniformFraction { lo, hi }),
-    ]
+fn draw_exec(r: &mut SplitMix64) -> ExecModel {
+    match r.index(3) {
+        0 => ExecModel::Wcet,
+        1 => ExecModel::ConstantFraction(r.range_f64_inclusive(0.05, 1.0)),
+        _ => {
+            let lo = r.range_f64(0.0, 0.5);
+            let hi = r.range_f64_inclusive(0.5, 1.0);
+            ExecModel::UniformFraction { lo, hi }
+        }
+    }
 }
 
-fn sim_cfg(exec: ExecModel, seed: u64) -> SimConfig {
-    SimConfig::new(Time::from_ms(600.0))
-        .with_exec(exec)
-        .with_seed(seed)
+fn draw_task_set(r: &mut SplitMix64) -> TaskSet {
+    let n = 1 + r.index(8);
+    let upct = 5 + r.index(95); // 5..=99 percent
+    let spec = TaskGenSpec::new(n, upct as f64 / 100.0).expect("valid spec");
+    generate(&spec, r.next_u64()).expect("generator succeeds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn draw_scenario(r: &mut SplitMix64) -> Scenario {
+    let tasks = draw_task_set(r);
+    let machine = draw_machine(r);
+    let exec = draw_exec(r);
+    let cfg = SimConfig::new(Time::from_ms(600.0))
+        .with_exec(exec.clone())
+        .with_seed(r.next_u64());
+    Scenario {
+        tasks,
+        machine,
+        exec,
+        cfg,
+    }
+}
 
-    /// The headline guarantee: EDF-based policies never miss a deadline on
-    /// any EDF-schedulable set (the generator only emits U ≤ 1), under any
-    /// execution behavior, on any machine.
-    #[test]
-    fn edf_policies_never_miss(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(exec, seed);
-        for kind in [PolicyKind::PlainEdf, PolicyKind::StaticEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert!(
+/// Runs `check` over `CASES` scenarios drawn from a per-property stream.
+fn for_each_scenario(property_salt: u64, mut check: impl FnMut(usize, Scenario)) {
+    let mut r = SplitMix64::seed_from_u64(0xD15C_0DE5 ^ property_salt);
+    for case in 0..CASES {
+        check(case as usize, draw_scenario(&mut r));
+    }
+}
+
+/// The headline guarantee: EDF-based policies never miss a deadline on
+/// any EDF-schedulable set (the generator only emits U ≤ 1), under any
+/// execution behavior, on any machine.
+#[test]
+fn edf_policies_never_miss() {
+    for_each_scenario(1, |case, s| {
+        for kind in [
+            PolicyKind::PlainEdf,
+            PolicyKind::StaticEdf,
+            PolicyKind::CcEdf,
+            PolicyKind::LaEdf,
+        ] {
+            let report = simulate(&s.tasks, &s.machine, kind, &s.cfg);
+            assert!(
                 report.all_deadlines_met(),
-                "{} missed {} deadlines (first: {:?})",
+                "case {case}: {} missed {} deadlines (first: {:?})",
                 kind.name(),
                 report.misses.len(),
                 report.misses.first()
             );
         }
-    }
+    });
+}
 
-    /// RM-based policies never miss on RM-schedulable sets.
-    #[test]
-    fn rm_policies_never_miss_on_rm_feasible_sets(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
-        let cfg = sim_cfg(exec, seed);
+/// RM-based policies never miss on RM-schedulable sets.
+#[test]
+fn rm_policies_never_miss_on_rm_feasible_sets() {
+    for_each_scenario(2, |case, s| {
+        if !rm_feasible_at(&s.tasks, 1.0, RmTest::SchedulingPoints) {
+            return;
+        }
         for kind in [
             PolicyKind::PlainRm,
             PolicyKind::StaticRm(RmTest::SchedulingPoints),
             PolicyKind::CcRm(RmTest::SchedulingPoints),
         ] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert!(
+            let report = simulate(&s.tasks, &s.machine, kind, &s.cfg);
+            assert!(
                 report.all_deadlines_met(),
-                "{} missed {} deadlines",
+                "case {case}: {} missed {} deadlines",
                 kind.name(),
                 report.misses.len()
             );
         }
-    }
+    });
+}
 
-    /// The Liu–Layland variant is also safe (it is only more conservative).
-    #[test]
-    fn rm_policies_never_miss_under_liu_layland_pacing(
-        tasks in task_sets(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::LiuLayland));
+/// The Liu–Layland variant is also safe (it is only more conservative).
+#[test]
+fn rm_policies_never_miss_under_liu_layland_pacing() {
+    for_each_scenario(3, |case, s| {
+        if !rm_feasible_at(&s.tasks, 1.0, RmTest::LiuLayland) {
+            return;
+        }
         let machine = Machine::machine0();
-        let cfg = sim_cfg(exec, seed);
         for kind in [
             PolicyKind::StaticRm(RmTest::LiuLayland),
             PolicyKind::CcRm(RmTest::LiuLayland),
         ] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert!(report.all_deadlines_met(), "{}", kind.name());
+            let report = simulate(&s.tasks, &machine, kind, &s.cfg);
+            assert!(report.all_deadlines_met(), "case {case}: {}", kind.name());
         }
-    }
+    });
+}
 
-    /// No policy beats the theoretical lower bound for the work it did.
-    #[test]
-    fn nothing_beats_the_bound(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-        idle_pct in 0u8..=100,
-    ) {
-        let idle_level = f64::from(idle_pct) / 100.0;
-        let mut cfg = sim_cfg(exec, seed);
-        cfg.idle_level = idle_level;
+/// No policy beats the theoretical lower bound for the work it did.
+#[test]
+fn nothing_beats_the_bound() {
+    for_each_scenario(4, |case, s| {
+        let mut cfg = s.cfg.clone();
+        let mut r = SplitMix64::seed_from_u64(cfg.seed ^ 4);
+        cfg.idle_level = r.range_f64_inclusive(0.0, 1.0);
         for kind in PolicyKind::paper_six() {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            let bound = theoretical_bound(&machine, report.total_work(), cfg.duration, idle_level);
-            prop_assert!(
+            let report = simulate(&s.tasks, &s.machine, kind, &cfg);
+            let bound = theoretical_bound(
+                &s.machine,
+                report.total_work(),
+                cfg.duration,
+                cfg.idle_level,
+            );
+            assert!(
                 bound <= report.energy() + 1e-6,
-                "{} energy {} below bound {bound}",
+                "case {case}: {} energy {} below bound {bound}",
                 kind.name(),
                 report.energy()
             );
         }
-    }
+    });
+}
 
-    /// DVS never costs more than no DVS: every EDF-based policy's energy is
-    /// at most plain EDF's (the RM pair compares against plain RM).
-    #[test]
-    fn dvs_is_never_worse_than_no_dvs(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(exec, seed);
-        let edf = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg).energy();
+/// DVS never costs more than no DVS: every EDF-based policy's energy is
+/// at most plain EDF's (the RM pair compares against plain RM).
+#[test]
+fn dvs_is_never_worse_than_no_dvs() {
+    for_each_scenario(5, |case, s| {
+        let edf = simulate(&s.tasks, &s.machine, PolicyKind::PlainEdf, &s.cfg).energy();
         for kind in [PolicyKind::StaticEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
-            let e = simulate(&tasks, &machine, kind, &cfg).energy();
-            prop_assert!(e <= edf + 1e-6, "{} used {e} > plain {edf}", kind.name());
+            let e = simulate(&s.tasks, &s.machine, kind, &s.cfg).energy();
+            assert!(
+                e <= edf + 1e-6,
+                "case {case}: {} used {e} > plain {edf}",
+                kind.name()
+            );
         }
-        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
-        let rm = simulate(&tasks, &machine, PolicyKind::PlainRm, &cfg).energy();
+        if !rm_feasible_at(&s.tasks, 1.0, RmTest::SchedulingPoints) {
+            return;
+        }
+        let rm = simulate(&s.tasks, &s.machine, PolicyKind::PlainRm, &s.cfg).energy();
         for kind in [
             PolicyKind::StaticRm(RmTest::SchedulingPoints),
             PolicyKind::CcRm(RmTest::SchedulingPoints),
         ] {
-            let e = simulate(&tasks, &machine, kind, &cfg).energy();
-            prop_assert!(e <= rm + 1e-6, "{} used {e} > plain RM {rm}", kind.name());
+            let e = simulate(&s.tasks, &s.machine, kind, &s.cfg).energy();
+            assert!(
+                e <= rm + 1e-6,
+                "case {case}: {} used {e} > plain RM {rm}",
+                kind.name()
+            );
         }
-    }
+    });
+}
 
-    /// §2.5: "at most, they require 2 frequency/voltage switches per task
-    /// per invocation" — plus the initial setting.
-    #[test]
-    fn at_most_two_switches_per_invocation(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(exec, seed);
+/// §2.5: "at most, they require 2 frequency/voltage switches per task
+/// per invocation" — plus the initial setting.
+#[test]
+fn at_most_two_switches_per_invocation() {
+    for_each_scenario(6, |case, s| {
         for kind in PolicyKind::paper_six() {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            let releases: u64 = report.task_stats.iter().map(|s| s.releases).sum();
-            prop_assert!(
+            let report = simulate(&s.tasks, &s.machine, kind, &s.cfg);
+            let releases: u64 = report.task_stats.iter().map(|t| t.releases).sum();
+            assert!(
                 report.switches <= 2 * releases + 1,
-                "{}: {} switches for {releases} releases",
+                "case {case}: {}: {} switches for {releases} releases",
                 kind.name(),
                 report.switches
             );
         }
-    }
+    });
+}
 
-    /// Static policies never switch after the initial setting.
-    #[test]
-    fn static_policies_never_switch(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(exec, seed);
+/// Static policies never switch after the initial setting.
+#[test]
+fn static_policies_never_switch() {
+    for_each_scenario(7, |case, s| {
         for kind in [
             PolicyKind::PlainEdf,
             PolicyKind::PlainRm,
             PolicyKind::StaticEdf,
             PolicyKind::StaticRm(RmTest::SchedulingPoints),
         ] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert_eq!(report.switches, 0, "{} switched", kind.name());
+            let report = simulate(&s.tasks, &s.machine, kind, &s.cfg);
+            assert_eq!(report.switches, 0, "case {case}: {} switched", kind.name());
         }
-    }
+    });
+}
 
-    /// Runs are deterministic: same inputs, same report.
-    #[test]
-    fn simulation_is_deterministic(
-        tasks in task_sets(),
-        machine in machines(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(ExecModel::uniform(), seed);
-        let a = simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg);
-        let b = simulate(&tasks, &machine, PolicyKind::LaEdf, &cfg);
-        prop_assert_eq!(a.energy(), b.energy());
-        prop_assert_eq!(a.switches, b.switches);
-        prop_assert_eq!(a.misses.len(), b.misses.len());
-    }
+/// Runs are deterministic: same inputs, same report.
+#[test]
+fn simulation_is_deterministic() {
+    for_each_scenario(8, |case, s| {
+        let cfg = s.cfg.clone().with_exec(ExecModel::uniform());
+        let a = simulate(&s.tasks, &s.machine, PolicyKind::LaEdf, &cfg);
+        let b = simulate(&s.tasks, &s.machine, PolicyKind::LaEdf, &cfg);
+        assert!(a.energy() == b.energy(), "case {case}: energy diverged");
+        assert_eq!(a.switches, b.switches, "case {case}");
+        assert_eq!(a.misses.len(), b.misses.len(), "case {case}");
+    });
+}
 
-    /// Sporadic arrivals (period = minimum inter-arrival) never break the
-    /// guarantees either: demand only shrinks.
-    #[test]
-    fn sporadic_arrivals_never_miss(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        extra_pct in 0u8..=150,
-        seed in any::<u64>(),
-    ) {
-        let mut cfg = sim_cfg(exec, seed);
+/// Sporadic arrivals (period = minimum inter-arrival) never break the
+/// guarantees either: demand only shrinks.
+#[test]
+fn sporadic_arrivals_never_miss() {
+    for_each_scenario(9, |case, s| {
+        let mut cfg = s.cfg.clone();
+        let mut r = SplitMix64::seed_from_u64(cfg.seed ^ 9);
         cfg.arrival = ArrivalModel::Sporadic {
-            max_extra_fraction: f64::from(extra_pct) / 100.0,
+            max_extra_fraction: r.range_f64_inclusive(0.0, 1.5),
         };
         for kind in [PolicyKind::PlainEdf, PolicyKind::CcEdf, PolicyKind::LaEdf] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert!(
+            let report = simulate(&s.tasks, &s.machine, kind, &cfg);
+            assert!(
                 report.all_deadlines_met(),
-                "{} missed under sporadic arrivals",
+                "case {case}: {} missed under sporadic arrivals",
                 kind.name()
             );
         }
-        prop_assume!(rm_feasible_at(&tasks, 1.0, RmTest::SchedulingPoints));
-        for kind in [PolicyKind::PlainRm, PolicyKind::CcRm(RmTest::SchedulingPoints)] {
-            let report = simulate(&tasks, &machine, kind, &cfg);
-            prop_assert!(report.all_deadlines_met(), "{}", kind.name());
+        if !rm_feasible_at(&s.tasks, 1.0, RmTest::SchedulingPoints) {
+            return;
         }
-    }
+        for kind in [
+            PolicyKind::PlainRm,
+            PolicyKind::CcRm(RmTest::SchedulingPoints),
+        ] {
+            let report = simulate(&s.tasks, &s.machine, kind, &cfg);
+            assert!(report.all_deadlines_met(), "case {case}: {}", kind.name());
+        }
+    });
+}
 
-    /// The statistical policy at full confidence over constant execution
-    /// behaves safely, and the manual pin at the maximum point is
-    /// equivalent to the plain baseline.
-    #[test]
-    fn manual_pin_at_max_equals_plain(
-        tasks in task_sets(),
-        machine in machines(),
-        exec in exec_models(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = sim_cfg(exec, seed);
-        let plain = simulate(&tasks, &machine, PolicyKind::PlainEdf, &cfg);
+/// The manual pin at the maximum point is equivalent to the plain
+/// baseline.
+#[test]
+fn manual_pin_at_max_equals_plain() {
+    for_each_scenario(10, |case, s| {
+        let plain = simulate(&s.tasks, &s.machine, PolicyKind::PlainEdf, &s.cfg);
         let pinned = simulate(
-            &tasks,
-            &machine,
+            &s.tasks,
+            &s.machine,
             PolicyKind::Manual {
                 scheduler: rtdvs::SchedulerKind::Edf,
-                point: machine.highest(),
+                point: s.machine.highest(),
             },
-            &cfg,
+            &s.cfg,
         );
-        prop_assert_eq!(plain.energy(), pinned.energy());
-        prop_assert_eq!(plain.misses.len(), pinned.misses.len());
-    }
+        assert!(
+            plain.energy() == pinned.energy(),
+            "case {case}: energy diverged ({} vs {})",
+            plain.energy(),
+            pinned.energy()
+        );
+        assert_eq!(plain.misses.len(), pinned.misses.len(), "case {case}");
+        // The execution-model draw is part of the scenario even though this
+        // property ignores its details.
+        let _ = &s.exec;
+    });
+}
 
-    /// The generator hits its utilization target and respects C ≤ P.
-    #[test]
-    fn generator_respects_spec(
-        n in 1usize..=15,
-        upct in 5usize..=100,
-        seed in any::<u64>(),
-    ) {
+/// The generator hits its utilization target and respects C ≤ P.
+#[test]
+fn generator_respects_spec() {
+    let mut r = SplitMix64::seed_from_u64(11);
+    for case in 0..CASES {
+        let n = 1 + r.index(15);
+        let upct = 5 + r.index(96); // 5..=100 percent
         let target = upct as f64 / 100.0;
-        let spec = TaskGenSpec::new(n, target).unwrap();
-        let set = generate(&spec, seed).expect("generator succeeds");
-        prop_assert_eq!(set.len(), n);
-        prop_assert!((set.total_utilization() - target).abs() < 1e-9);
+        let spec = TaskGenSpec::new(n, target).expect("valid spec");
+        let set = generate(&spec, r.next_u64()).expect("generator succeeds");
+        assert_eq!(set.len(), n, "case {case}");
+        assert!(
+            (set.total_utilization() - target).abs() < 1e-9,
+            "case {case}: target {target}, got {}",
+            set.total_utilization()
+        );
         for t in set.tasks() {
-            prop_assert!(t.wcet().as_ms() <= t.period().as_ms() + 1e-9);
+            assert!(
+                t.wcet().as_ms() <= t.period().as_ms() + 1e-9,
+                "case {case}: C > P"
+            );
         }
     }
 }

@@ -1,0 +1,346 @@
+//! Workspace tooling.
+//!
+//! `cargo run -p xtask -- lint` runs repo-specific source lints that
+//! clippy cannot express:
+//!
+//! - `no-unwrap` — `.unwrap()` (or `.expect("")` with an empty message) in
+//!   `crates/core` non-test code. Library code must propagate `Result` or
+//!   `expect` with a message that states the violated precondition.
+//! - `float-eq` — raw `==`/`!=` between `f64` quantities outside
+//!   `crates/core/src/time.rs` (the one module allowed to define the
+//!   comparison semantics). Use `approx_eq`/`EPS`.
+//! - `policy-demand` — a policy feeding raw `as_ms()` arithmetic into
+//!   `point_at_least` instead of going through `point_for_demand`, which
+//!   handles the no-work and zero-horizon corners.
+//! - `must-use-point` — a `pub fn` returning `PointIdx` without
+//!   `#[must_use]`: dropping a computed operating point is always a bug.
+//!
+//! Findings can be suppressed per file via `xtask/lint-allow.txt`
+//! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
+//! Exits non-zero when any finding remains, so CI can gate on it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint hit, reported as `path:line: [rule] message`.
+struct Finding {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(file) else {
+            continue;
+        };
+        scan_file(&rel, &source, &mut findings);
+    }
+
+    let allow = load_allowlist(&root.join("xtask/lint-allow.txt"));
+    let mut used = vec![false; allow.len()];
+    findings.retain(|f| {
+        for (i, (rule, path)) in allow.iter().enumerate() {
+            if rule == f.rule && path == &f.path {
+                used[i] = true;
+                return false;
+            }
+        }
+        true
+    });
+    for (i, (rule, path)) in allow.iter().enumerate() {
+        if !used[i] {
+            eprintln!("note: unused allowlist entry `{rule} {path}`");
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: clean ({} files)", files.len());
+        return ExitCode::SUCCESS;
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for f in &findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+    }
+    println!("xtask lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> Vec<(String, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some((it.next()?.to_owned(), it.next()?.to_owned()))
+        })
+        .collect()
+}
+
+fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let in_core = rel.starts_with("crates/core/");
+    let is_time = rel == "crates/core/src/time.rs";
+    let in_policy = rel.starts_with("crates/core/src/policy/") && !rel.ends_with("/mod.rs");
+    let lines: Vec<&str> = source.lines().collect();
+
+    // Depth > 0 means we are inside a `#[cfg(test)]` item and skip it;
+    // `armed` bridges the gap between the attribute and its `{`.
+    let mut test_depth = 0usize;
+    let mut armed = false;
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.contains("#[cfg(test)]") {
+            armed = true;
+            continue;
+        }
+        let line = strip_strings_and_comments(raw);
+        if armed || test_depth > 0 {
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            if armed && opens > 0 {
+                armed = false;
+            }
+            test_depth = (test_depth + opens).saturating_sub(closes);
+            if test_depth > 0 || armed {
+                continue;
+            }
+            continue; // the line that closed the test item
+        }
+        let n = idx + 1;
+
+        if in_core {
+            if line.contains(".unwrap()") {
+                findings.push(Finding {
+                    path: rel.to_owned(),
+                    line: n,
+                    rule: "no-unwrap",
+                    msg: "`.unwrap()` in library code; return Result or `.expect(\"why\")`"
+                        .to_owned(),
+                });
+            }
+            if raw.contains(".expect(\"\")") {
+                findings.push(Finding {
+                    path: rel.to_owned(),
+                    line: n,
+                    rule: "no-unwrap",
+                    msg: "`.expect(\"\")` without a message; state the violated precondition"
+                        .to_owned(),
+                });
+            }
+        }
+
+        if !is_time {
+            for (op_at, op_len) in float_cmp_sites(&line) {
+                let lhs = token_before(&line, op_at);
+                let rhs = token_after(&line, op_at + op_len);
+                if is_floaty(lhs) || is_floaty(rhs) {
+                    findings.push(Finding {
+                        path: rel.to_owned(),
+                        line: n,
+                        rule: "float-eq",
+                        msg: format!(
+                            "raw float comparison `{lhs} {} {rhs}`; use approx_eq/EPS",
+                            &line[op_at..op_at + op_len]
+                        ),
+                    });
+                }
+            }
+        }
+
+        if in_policy && line.contains("point_at_least(") && line.contains("as_ms()") {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: n,
+                rule: "policy-demand",
+                msg: "raw as_ms() ratio fed to point_at_least; use point_for_demand".to_owned(),
+            });
+        }
+
+        if line.contains("pub fn") && !line.contains("fn main") {
+            check_must_use(rel, &lines, idx, findings);
+        }
+    }
+}
+
+/// Blanks out double-quoted string contents and cuts `//` comments so the
+/// line scanners only see code. (Char literals and raw strings are rare
+/// enough here not to matter; a false hit can be allowlisted.)
+fn strip_strings_and_comments(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_string = true;
+                    out.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// Byte offsets (and operator lengths) of `==`/`!=` sites in a line,
+/// skipping `<=`, `>=`, and pattern-irrelevant `=`s.
+fn float_cmp_sites(line: &str) -> Vec<(usize, usize)> {
+    let bytes = line.as_bytes();
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            let prev = i.checked_sub(1).map(|p| bytes[p]);
+            let next = bytes.get(i + 2);
+            let fused = matches!(prev, Some(b'=' | b'!' | b'<' | b'>')) || next == Some(&b'=');
+            if !fused {
+                sites.push((i, 2));
+            }
+            i += 2;
+        } else if pair == b"!=" && bytes.get(i + 2) != Some(&b'=') {
+            sites.push((i, 2));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    sites
+}
+
+fn token_before(line: &str, op_at: usize) -> &str {
+    let head = line[..op_at].trim_end();
+    let start = head
+        .rfind(|c: char| c.is_whitespace() || c == ',')
+        .map_or(0, |p| p + 1);
+    &head[start..]
+}
+
+fn token_after(line: &str, after_op: usize) -> &str {
+    let tail = line[after_op..].trim_start();
+    let end = tail
+        .find(|c: char| c.is_whitespace() || c == ',')
+        .unwrap_or(tail.len());
+    &tail[..end]
+}
+
+/// Does this expression token read as an `f64` quantity?
+fn is_floaty(token: &str) -> bool {
+    for accessor in [".as_ms()", ".as_f64()", ".freq()", ".volt()"] {
+        if token.ends_with(accessor) {
+            return true;
+        }
+    }
+    let trimmed = token
+        .trim_start_matches(['(', '['])
+        .trim_end_matches([')', ']', ';', '{', '}']);
+    trimmed.contains('.') && trimmed.parse::<f64>().is_ok()
+}
+
+/// Flags a `pub fn` returning `PointIdx` that lacks `#[must_use]`.
+/// Mutating methods (`&mut self`) are exempt: they are called for the
+/// side effect, the returned point is advisory.
+fn check_must_use(rel: &str, lines: &[&str], idx: usize, findings: &mut Vec<Finding>) {
+    let mut sig = String::new();
+    for line in lines.iter().skip(idx).take(8) {
+        sig.push_str(line);
+        sig.push(' ');
+        if line.contains('{') || line.contains(';') {
+            break;
+        }
+    }
+    let Some(arrow) = sig.find("->") else {
+        return;
+    };
+    let ret = &sig[arrow + 2..];
+    if !ret.trim_start().starts_with("PointIdx") || sig.contains("&mut self") {
+        return;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = lines[j].trim_start();
+        if above.starts_with("#[") || above.starts_with("///") || above.starts_with("//") {
+            if above.contains("must_use") {
+                return;
+            }
+        } else {
+            break;
+        }
+    }
+    findings.push(Finding {
+        path: rel.to_owned(),
+        line: idx + 1,
+        rule: "must-use-point",
+        msg: "pub fn returning PointIdx lacks #[must_use]".to_owned(),
+    });
+}
