@@ -1,21 +1,12 @@
 #!/usr/bin/env sh
-# Offline CI gate: formatting, clippy, repo-specific lints, tier-1.
-# Every step runs with no network access.
+# Offline CI gate. The stage list lives in one place — `xtask ci`
+# (xtask/src/main.rs) — which this script and the GitHub Actions
+# workflow both delegate to, so the local gate and the hosted pipeline
+# cannot drift. Every stage runs with no network access.
+#
+# Pass-through: `./ci.sh --skip bench-check` etc.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
-
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace -- -D warnings
-
-echo "==> xtask lint"
-cargo run -q -p xtask -- lint
-
-echo "==> tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
-
-echo "CI green."
+exec cargo run -q -p xtask -- ci "$@"

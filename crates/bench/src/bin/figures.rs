@@ -1,0 +1,327 @@
+//! Regenerates the paper's headline figures on the sharded runner and
+//! maintains the repo's `BENCH_*.json` trajectory.
+//!
+//! ```text
+//! figures [run] [--quick] [--threads N] [--seed S] [--out DIR]
+//!     Regenerate Figures 6–8 and the smoke sweep; write
+//!     BENCH_paper_figures.json and BENCH_sweep.json into DIR
+//!     (default: the repository root).
+//!
+//! figures check [--tolerance FRACTION] [--golden-dir DIR] [--threads N]
+//!     Re-run the smoke grid and diff it against the committed
+//!     BENCH_sweep.json (default tolerance ±1% energy, deadline misses
+//!     must match exactly), then structurally validate the committed
+//!     BENCH_paper_figures.json. Exits non-zero on any divergence —
+//!     this is what `xtask bench-check` and the CI bench-smoke stage run.
+//!
+//! figures bench [--threads-list 1,2,4] [--quick] [--seed S]
+//!     Run the Figure 6–8 grid once per thread count; report wall-clock,
+//!     event throughput, and speedup vs one thread, and verify the merged
+//!     results are byte-identical across thread counts.
+//! ```
+
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rtdvs_bench::artifact::{compare, BenchArtifact};
+use rtdvs_bench::figures::{
+    paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
+};
+use rtdvs_bench::render_normalized_chart;
+
+/// Default experiment seed (the sweep harness default, `0x5eed`).
+const DEFAULT_SEED: u64 = 0x5eed;
+
+/// File names of the committed golden artifacts at the repository root.
+const PAPER_FIGURES_FILE: &str = "BENCH_paper_figures.json";
+const SWEEP_FILE: &str = "BENCH_sweep.json";
+
+struct Args {
+    command: String,
+    quick: bool,
+    threads: Option<usize>,
+    threads_list: Vec<usize>,
+    seed: u64,
+    out: Option<PathBuf>,
+    golden_dir: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: "run".to_owned(),
+        quick: false,
+        threads: None,
+        threads_list: vec![1, 2, 4],
+        seed: DEFAULT_SEED,
+        out: None,
+        golden_dir: None,
+        tolerance: 0.01,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "run" | "check" | "bench" => args.command = a,
+            "--quick" => args.quick = true,
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a count")?;
+                args.threads = Some(v.parse().map_err(|e| format!("--threads {v}: {e}"))?);
+            }
+            "--threads-list" => {
+                let v = argv.next().ok_or("--threads-list needs e.g. 1,2,4")?;
+                args.threads_list = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| format!("{t}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.threads_list.is_empty() || args.threads_list.contains(&0) {
+                    return Err("--threads-list needs positive counts".to_owned());
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = parse_seed(&v)?;
+            }
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a dir")?)),
+            "--golden-dir" => {
+                args.golden_dir = Some(PathBuf::from(
+                    argv.next().ok_or("--golden-dir needs a dir")?,
+                ));
+            }
+            "--tolerance" => {
+                let v = argv.next().ok_or("--tolerance needs a fraction")?;
+                args.tolerance = v.parse().map_err(|e| format!("--tolerance {v}: {e}"))?;
+                if !(args.tolerance > 0.0 && args.tolerance < 1.0) {
+                    return Err(format!("tolerance {v} outside (0, 1)"));
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: figures [run|check|bench] [--quick] [--threads N] [--threads-list 1,2,4] \
+     [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
+        .to_owned()
+}
+
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|e| format!("--seed {v}: {e}"))
+}
+
+/// The workspace root: `crates/bench` sits two levels below it.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("non-zero"))
+}
+
+fn resolve_threads(requested: Option<usize>) -> Result<NonZeroUsize, String> {
+    match requested {
+        None => Ok(default_threads()),
+        Some(n) => NonZeroUsize::new(n).ok_or_else(|| "--threads 0 is meaningless".to_owned()),
+    }
+}
+
+/// The grid the committed `BENCH_paper_figures.json` is generated at:
+/// full 20-point utilization grid, trimmed sample count so regeneration
+/// stays tractable on a laptop while the curves stay smooth.
+fn figures_scale(quick: bool) -> Scale {
+    if quick {
+        Scale::quick()
+    } else {
+        Scale {
+            sets_per_point: 20,
+            duration: rtdvs_core::time::Time::from_secs(2.0),
+            grid: 20,
+        }
+    }
+}
+
+fn print_panel(figure: &PaperFigure) {
+    let stats = &figure.run.stats;
+    println!(
+        "-- Figure {} ({} tasks): {} cells, {} sims, {} events, {} ms wall, {:.0} events/s --",
+        figure.figure,
+        figure.n_tasks,
+        stats.cells,
+        stats.sims,
+        stats.events,
+        stats.wall_ms,
+        stats.events_per_sec()
+    );
+    println!("{}", figure.run.sweep.render_normalized());
+    println!("{}", render_normalized_chart(&figure.run.sweep));
+}
+
+fn write_artifact(dir: &Path, name: &str, artifact: &BenchArtifact) -> Result<(), String> {
+    let path = dir.join(name);
+    std::fs::write(&path, artifact.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let threads = resolve_threads(args.threads)?;
+    let scale = figures_scale(args.quick);
+    let out = args.out.clone().unwrap_or_else(repo_root);
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+
+    println!(
+        "== Figures 6-8: {}-point grid x {} sets x 6 policies, {} thread(s) ==",
+        scale.grid,
+        scale.sets_per_point,
+        threads.get()
+    );
+    let figures = paper_figures(scale, args.seed, threads);
+    for figure in &figures {
+        print_panel(figure);
+    }
+    let artifact = paper_figures_artifact(&figures, scale, args.seed, threads);
+    write_artifact(&out, PAPER_FIGURES_FILE, &artifact)?;
+
+    let smoke = smoke_sweep_artifact(args.seed, threads);
+    write_artifact(&out, SWEEP_FILE, &smoke)?;
+    println!(
+        "total wall: {} ms across {} simulations",
+        artifact.wall_ms + smoke.wall_ms,
+        figures.iter().map(|f| f.run.stats.sims).sum::<u64>()
+    );
+    Ok(())
+}
+
+fn load_golden(dir: &Path, name: &str) -> Result<BenchArtifact, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read golden {}: {e} (run `figures run` to create it)",
+            path.display()
+        )
+    })?;
+    BenchArtifact::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn check(args: &Args) -> Result<(), String> {
+    let threads = resolve_threads(args.threads)?;
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+
+    // 1. Fresh smoke run vs the committed golden, within tolerance.
+    let golden = load_golden(&dir, SWEEP_FILE)?;
+    let fresh = smoke_sweep_artifact(golden.seed, threads);
+    let problems = compare(&golden, &fresh, args.tolerance);
+    if problems.is_empty() {
+        println!(
+            "bench-check: smoke grid reproduces {} within ±{:.1}% ({} points, {} ms)",
+            SWEEP_FILE,
+            100.0 * args.tolerance,
+            golden.series.iter().map(|s| s.points.len()).sum::<usize>(),
+            fresh.wall_ms
+        );
+    } else {
+        for p in &problems {
+            eprintln!("bench-check: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {SWEEP_FILE}; if the energy model intentionally \
+             changed, regenerate the goldens with `figures run` and commit them",
+            problems.len()
+        ));
+    }
+
+    // 2. Structural invariants of the committed paper-figures artifact
+    //    (full regeneration is `figures run`; too slow for every push).
+    let paper = load_golden(&dir, PAPER_FIGURES_FILE)?;
+    let structural = paper.validate();
+    if structural.is_empty() {
+        println!(
+            "bench-check: {} is structurally sound ({} series)",
+            PAPER_FIGURES_FILE,
+            paper.series.len()
+        );
+        Ok(())
+    } else {
+        for p in &structural {
+            eprintln!("bench-check: {PAPER_FIGURES_FILE}: {p}");
+        }
+        Err(format!("{} structural problem(s)", structural.len()))
+    }
+}
+
+fn bench(args: &Args) -> Result<(), String> {
+    let scale = figures_scale(args.quick);
+    println!(
+        "== thread scaling on the Figure 6-8 grid ({} points x {} sets x 6 policies x 3 panels) ==",
+        scale.grid, scale.sets_per_point
+    );
+    let mut baseline_ms = None;
+    let mut baseline_json = None;
+    println!("  threads    wall_ms    events/s   speedup");
+    for &n in &args.threads_list {
+        let threads = NonZeroUsize::new(n).ok_or("thread counts must be positive")?;
+        let figures = paper_figures(scale, args.seed, threads);
+        let artifact = paper_figures_artifact(&figures, scale, args.seed, threads);
+        let wall: u64 = figures.iter().map(|f| f.run.stats.wall_ms).sum();
+        let events: u64 = figures.iter().map(|f| f.run.stats.events).sum();
+        let speedup = match baseline_ms {
+            None => {
+                baseline_ms = Some(wall);
+                1.0
+            }
+            Some(base) => base as f64 / (wall.max(1)) as f64,
+        };
+        println!(
+            "  {n:>7} {wall:>10} {:>11.0} {speedup:>8.2}x",
+            events as f64 * 1000.0 / wall.max(1) as f64
+        );
+        let canonical = artifact.canonical_json();
+        match &baseline_json {
+            None => baseline_json = Some(canonical),
+            Some(base) => {
+                if *base != canonical {
+                    return Err(format!(
+                        "merged results at {n} threads are not byte-identical to the baseline"
+                    ));
+                }
+                println!("           merged results byte-identical to 1-thread baseline");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => run(&args),
+        "check" => check(&args),
+        "bench" => bench(&args),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! One driver per table/figure of the paper, plus the ablations called out
 //! in DESIGN.md.
 
+use std::num::NonZeroUsize;
+
 use rtdvs_core::analysis::RmTest;
 use rtdvs_core::example::{table2_task_set, table3_actual_times, EXAMPLE_HORIZON_MS};
 use rtdvs_core::machine::Machine;
@@ -9,6 +11,8 @@ use rtdvs_core::time::Time;
 use rtdvs_platform::{PowerNowCpu, SystemPowerModel};
 use rtdvs_sim::{simulate, ExecModel, SimConfig, SwitchOverhead};
 
+use crate::artifact::{BenchArtifact, BenchGrid};
+use crate::runner::{run_sweep_threads, SweepRun};
 use crate::sweep::{run_sweep, Sweep, SweepConfig};
 
 /// Scale knobs shared by all figure drivers, so tests can run cheap
@@ -55,6 +59,112 @@ impl Scale {
         cfg.duration = self.duration;
         cfg.utilizations = self.utilizations();
         cfg
+    }
+}
+
+/// The panels of the paper's headline energy-vs-utilization evaluation:
+/// `(conference figure number, tasks per set)`.
+///
+/// The SOSP proceedings number the normalized-energy curves for 5, 10,
+/// and 15 tasks as Figures 6, 7, and 8; the tech-report numbering used by
+/// the CSV files in `results/` calls the same three panels Fig. 9.
+pub const PAPER_FIGURE_PANELS: [(u32, usize); 3] = [(6, 5), (7, 10), (8, 15)];
+
+/// One regenerated paper figure: conference number, tasks per set, and
+/// the sharded run that produced it.
+#[derive(Debug, Clone)]
+pub struct PaperFigure {
+    /// Conference figure number (6, 7, or 8).
+    pub figure: u32,
+    /// Tasks per generated set.
+    pub n_tasks: usize,
+    /// The sweep run (curves, spreads, cost accounting).
+    pub run: SweepRun,
+}
+
+/// Regenerates the Figure 6–8 curves on the sharded runner: all six
+/// policies, normalized energy vs utilization, one panel per task count.
+#[must_use]
+pub fn paper_figures(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<PaperFigure> {
+    PAPER_FIGURE_PANELS
+        .into_iter()
+        .map(|(figure, n_tasks)| {
+            let mut cfg = scale.apply(SweepConfig::paper_default(n_tasks));
+            cfg.seed = seed;
+            PaperFigure {
+                figure,
+                n_tasks,
+                run: run_sweep_threads(&cfg, threads),
+            }
+        })
+        .collect()
+}
+
+/// Packs regenerated paper figures into the `BENCH_paper_figures.json`
+/// artifact.
+#[must_use]
+pub fn paper_figures_artifact(
+    figures: &[PaperFigure],
+    scale: Scale,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> BenchArtifact {
+    let policies: Vec<String> = PolicyKind::paper_six()
+        .iter()
+        .map(|k| k.name().to_owned())
+        .collect();
+    BenchArtifact {
+        seed,
+        threads: threads.get(),
+        grid: BenchGrid {
+            label: "paper-figures".to_owned(),
+            n_tasks: figures.iter().map(|f| f.n_tasks).collect(),
+            utilizations: scale.utilizations(),
+            sets_per_point: scale.sets_per_point,
+            duration_ms: scale.duration.as_ms(),
+            policies,
+        },
+        series: figures
+            .iter()
+            .flat_map(|f| BenchArtifact::panel_series(&f.run.sweep, f.n_tasks))
+            .collect(),
+        wall_ms: figures.iter().map(|f| f.run.stats.wall_ms).sum(),
+    }
+}
+
+/// The reduced grid behind `BENCH_sweep.json` and the CI bench-smoke
+/// stage: 2 utilizations × 6 policies × 2 task sets on the paper's
+/// standard 8-task workload. Small enough to re-run on every push, wide
+/// enough that an energy-model or policy regression moves some point by
+/// more than the comparator's tolerance.
+#[must_use]
+pub fn smoke_sweep_config(seed: u64) -> SweepConfig {
+    let mut cfg = SweepConfig::paper_default(8);
+    cfg.utilizations = vec![0.5, 0.9];
+    cfg.sets_per_point = 2;
+    cfg.duration = Time::from_ms(600.0);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs the smoke grid and packs it into the `BENCH_sweep.json` artifact.
+#[must_use]
+pub fn smoke_sweep_artifact(seed: u64, threads: NonZeroUsize) -> BenchArtifact {
+    let cfg = smoke_sweep_config(seed);
+    let run = run_sweep_threads(&cfg, threads);
+    BenchArtifact {
+        seed,
+        threads: threads.get(),
+        grid: BenchGrid {
+            label: "sweep-smoke".to_owned(),
+            n_tasks: vec![cfg.n_tasks],
+            utilizations: cfg.utilizations.clone(),
+            sets_per_point: cfg.sets_per_point,
+            duration_ms: cfg.duration.as_ms(),
+            policies: cfg.policies.iter().map(|k| k.name().to_owned()).collect(),
+        },
+        series: BenchArtifact::panel_series(&run.sweep, cfg.n_tasks),
+        wall_ms: run.stats.wall_ms,
     }
 }
 

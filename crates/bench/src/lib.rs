@@ -9,14 +9,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod chart;
 pub mod figures;
 pub mod microbench;
+pub mod runner;
 pub mod stats;
 pub mod sweep;
 pub mod taskfile;
 
+pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
 pub use chart::render_normalized_chart;
 pub use figures::*;
+pub use runner::{run_sweep_threads, RunnerStats, SweepRun};
 pub use stats::{welch_t, Summary};
 pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};

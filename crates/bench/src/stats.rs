@@ -39,6 +39,34 @@ impl Summary {
         Summary { n, mean, std_dev }
     }
 
+    /// Pools this summary with another, as if both samples had been
+    /// summarized together (Chan et al.'s pairwise update of mean and M2).
+    ///
+    /// The sharded sweep runner folds per-cell summaries with this in a
+    /// fixed cell order, so a parallel run reports the same spreads as a
+    /// serial one without anyone keeping the raw samples.
+    #[must_use]
+    pub fn merge(&self, other: &Summary) -> Summary {
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (nb / n);
+        // M2 = Σ(x − mean)²; std_dev stores the n−1 normalization.
+        let m2a = self.std_dev.powi(2) * (na - 1.0).max(0.0);
+        let m2b = other.std_dev.powi(2) * (nb - 1.0).max(0.0);
+        let m2 = m2a + m2b + delta.powi(2) * na * nb / n;
+        let std_dev = if self.n + other.n < 2 {
+            0.0
+        } else {
+            (m2 / (n - 1.0)).sqrt()
+        };
+        Summary {
+            n: self.n + other.n,
+            mean,
+            std_dev,
+        }
+    }
+
     /// Standard error of the mean.
     #[must_use]
     pub fn std_err(&self) -> f64 {
@@ -108,6 +136,32 @@ mod tests {
         assert_eq!(s.ci95_half_width(), 0.0);
         assert!(s.significantly_differs_from(4.9));
         assert!(!s.significantly_differs_from(5.0));
+    }
+
+    #[test]
+    fn merge_matches_whole_sample_summary() {
+        let xs = [1.0, 2.5, 3.0, 4.5, 5.0, 7.5, 9.0];
+        let whole = Summary::of(&xs);
+        let merged = Summary::of(&xs[..3]).merge(&Summary::of(&xs[3..]));
+        assert_eq!(merged.n, whole.n);
+        assert!((merged.mean - whole.mean).abs() < 1e-12);
+        assert!((merged.std_dev - whole.std_dev).abs() < 1e-12);
+        // Folding single-sample summaries (how the runner uses it) agrees
+        // too.
+        let folded = xs[1..].iter().fold(Summary::of(&xs[..1]), |acc, &x| {
+            acc.merge(&Summary::of(&[x]))
+        });
+        assert_eq!(folded.n, whole.n);
+        assert!((folded.mean - whole.mean).abs() < 1e-12);
+        assert!((folded.std_dev - whole.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_singletons_has_spread() {
+        let m = Summary::of(&[1.0]).merge(&Summary::of(&[3.0]));
+        assert_eq!(m.n, 2);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.std_dev - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
 
     #[test]

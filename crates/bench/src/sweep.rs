@@ -10,8 +10,7 @@ use std::fmt::Write as _;
 use rtdvs_core::machine::Machine;
 use rtdvs_core::policy::PolicyKind;
 use rtdvs_core::time::Time;
-use rtdvs_sim::{simulate, theoretical_bound, ExecModel, SimConfig};
-use rtdvs_taskgen::{generate, TaskGenSpec};
+use rtdvs_sim::ExecModel;
 
 /// Configuration for one sweep (one panel of a figure).
 #[derive(Debug, Clone)]
@@ -169,61 +168,19 @@ impl Sweep {
     }
 }
 
-/// Runs a sweep: for each utilization, generate `sets_per_point` task sets
-/// and run every policy on each, averaging absolute energies; the bound is
-/// computed per set from the work plain EDF actually executed.
+/// Runs a sweep serially: for each utilization, generate `sets_per_point`
+/// task sets and run every policy on each, averaging absolute energies;
+/// the bound is computed per set from the work plain EDF actually
+/// executed.
+///
+/// This is the one-worker case of [`crate::runner::run_sweep_threads`] —
+/// both paths evaluate the same cells with the same
+/// [`rtdvs_taskgen::SplitMix64::split`]-derived streams and merge them in
+/// the same order, so the results are bit-identical at any thread count.
 #[must_use]
 pub fn run_sweep(cfg: &SweepConfig) -> Sweep {
-    let edf_idx = cfg.policies.iter().position(|k| *k == PolicyKind::PlainEdf);
-    let mut rows = Vec::with_capacity(cfg.utilizations.len());
-    for (ui, &util) in cfg.utilizations.iter().enumerate() {
-        let spec = TaskGenSpec::new(cfg.n_tasks, util).expect("valid sweep parameters");
-        let mut energy_sum = vec![0.0; cfg.policies.len()];
-        let mut miss_sum = vec![0u64; cfg.policies.len()];
-        let mut work_sum = vec![0.0; cfg.policies.len()];
-        let mut bound_sum = 0.0;
-        for s in 0..cfg.sets_per_point {
-            let set_seed = cfg
-                .seed
-                .wrapping_add((ui as u64) << 32)
-                .wrapping_add(s as u64);
-            let tasks = generate(&spec, set_seed).expect("generator succeeds");
-            let sim_cfg = SimConfig {
-                duration: cfg.duration,
-                idle_level: cfg.idle_level,
-                exec: cfg.exec.clone(),
-                arrival: rtdvs_sim::ArrivalModel::Periodic,
-                seed: set_seed ^ 0xD5,
-                switch_overhead: None,
-                miss_policy: rtdvs_sim::MissPolicy::DropRemaining,
-                record_trace: false,
-            };
-            let mut work_for_bound = None;
-            for (pi, kind) in cfg.policies.iter().enumerate() {
-                let report = simulate(&tasks, &cfg.machine, *kind, &sim_cfg);
-                energy_sum[pi] += report.energy();
-                miss_sum[pi] += report.misses.len() as u64;
-                work_sum[pi] += report.total_work().as_ms();
-                if Some(pi) == edf_idx || (edf_idx.is_none() && pi == 0) {
-                    work_for_bound = Some(report.total_work());
-                }
-            }
-            let work = work_for_bound.expect("at least one policy ran");
-            bound_sum += theoretical_bound(&cfg.machine, work, cfg.duration, cfg.idle_level);
-        }
-        let n = cfg.sets_per_point as f64;
-        rows.push(SweepRow {
-            utilization: util,
-            energy: energy_sum.iter().map(|e| e / n).collect(),
-            bound: bound_sum / n,
-            work: work_sum.iter().map(|w| w / n).collect(),
-            misses: miss_sum,
-        });
-    }
-    Sweep {
-        policy_names: cfg.policies.iter().map(|k| k.name()).collect(),
-        rows,
-    }
+    let one = std::num::NonZeroUsize::new(1).expect("1 is non-zero");
+    crate::runner::run_sweep_threads(cfg, one).sweep
 }
 
 #[cfg(test)]

@@ -84,6 +84,7 @@ struct Engine<'a> {
     stall_until: Time,
     switches: u64,
     voltage_switches: u64,
+    events: u64,
     misses: Vec<DeadlineMiss>,
     stats: Vec<TaskStats>,
 }
@@ -125,6 +126,7 @@ impl<'a> Engine<'a> {
             stall_until: Time::ZERO,
             switches: 0,
             voltage_switches: 0,
+            events: 0,
             misses: Vec::new(),
             stats: vec![TaskStats::default(); tasks.len()],
         }
@@ -380,6 +382,7 @@ impl<'a> Engine<'a> {
         self.process_due_events(true);
 
         loop {
+            self.events += 1;
             let prev_now = self.now;
             // Grant any due policy review (e.g. laEDF re-planning at its
             // deferral boundary when no release landed there — possible
@@ -482,6 +485,7 @@ impl<'a> Engine<'a> {
             meter: self.meter,
             switches: self.switches,
             voltage_switches: self.voltage_switches,
+            events: self.events,
             misses: self.misses,
             task_stats: self.stats,
             trace: self.trace,

@@ -74,6 +74,11 @@ pub struct SimReport {
     pub switches: u64,
     /// Of which changed the voltage (not just the frequency).
     pub voltage_switches: u64,
+    /// Scheduler decision intervals the engine processed (one per
+    /// event-to-event interval). A cheap per-run cost metric: sharded
+    /// experiment runners sum it per worker to report shard-local
+    /// simulation throughput without recording full traces.
+    pub events: u64,
     /// Every missed deadline, in time order.
     pub misses: Vec<DeadlineMiss>,
     /// Per-task statistics, indexed by [`TaskId`].
@@ -150,6 +155,7 @@ mod tests {
             meter,
             switches: 0,
             voltage_switches: 0,
+            events: 0,
             misses: vec![],
             task_stats: vec![],
             trace: None,

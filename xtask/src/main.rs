@@ -1,7 +1,20 @@
 //! Workspace tooling.
 //!
-//! `cargo run -p xtask -- lint` runs repo-specific source lints that
-//! clippy cannot express:
+//! Three subcommands:
+//!
+//! * `cargo run -p xtask -- ci` — the full local gate: fmt, clippy,
+//!   `lint`, release build, workspace tests, examples, and `bench-check`,
+//!   each stage wall-clock-timed with a summary table at the end. `ci.sh`
+//!   and the GitHub Actions workflow both delegate here, so the shell
+//!   script and the hosted pipeline cannot drift. `--skip a,b` skips
+//!   stages by name.
+//! * `cargo run -p xtask -- bench-check` — the quantitative regression
+//!   gate: delegates to `figures check` (crates/bench), which re-runs the
+//!   reduced sweep grid and diffs it against the committed
+//!   `BENCH_sweep.json` within ±1% energy, and structurally validates
+//!   `BENCH_paper_figures.json`.
+//! * `cargo run -p xtask -- lint` — repo-specific source lints that
+//!   clippy cannot express:
 //!
 //! - `no-unwrap` — `.unwrap()` (or `.expect("")` with an empty message) in
 //!   `crates/core` non-test code. Library code must propagate `Result` or
@@ -21,7 +34,8 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
 
 /// One lint hit, reported as `path:line: [rule] message`.
 struct Finding {
@@ -35,9 +49,176 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("ci") => ci(&args[1..]),
+        Some("bench-check") => bench_check(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check>");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// One stage of the CI gate: a name and the argv it runs (always `cargo`
+/// from the workspace root), or the in-process lint pass.
+struct Stage {
+    name: &'static str,
+    args: &'static [&'static str],
+}
+
+/// The full local gate, in dependency order. `lint` is the in-process
+/// pass (empty argv); everything else shells out to cargo so the stages
+/// are exactly what a contributor would type.
+const STAGES: [Stage; 7] = [
+    Stage {
+        name: "fmt",
+        args: &["fmt", "--all", "--check"],
+    },
+    Stage {
+        name: "clippy",
+        args: &["clippy", "--workspace", "--", "-D", "warnings"],
+    },
+    Stage {
+        name: "lint",
+        args: &[],
+    },
+    Stage {
+        name: "build",
+        args: &["build", "--workspace", "--release"],
+    },
+    Stage {
+        name: "test",
+        args: &["test", "--workspace", "-q"],
+    },
+    Stage {
+        name: "examples",
+        args: &["build", "--examples"],
+    },
+    Stage {
+        name: "bench-check",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "check",
+        ],
+    },
+];
+
+/// Runs the full offline gate with per-stage wall-clock timing and a
+/// summary table. Stops at the first failing stage (later stages would
+/// only add noise) but always prints the table.
+fn ci(args: &[String]) -> ExitCode {
+    let mut skip: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--skip" => {
+                let Some(list) = it.next() else {
+                    eprintln!("--skip needs a comma-separated stage list");
+                    return ExitCode::from(2);
+                };
+                skip.extend(list.split(',').map(|s| s.trim().to_owned()));
+            }
+            other => {
+                eprintln!("unknown `ci` argument {other}");
+                eprintln!("usage: cargo run -p xtask -- ci [--skip stage1,stage2]");
+                eprintln!(
+                    "stages: {}",
+                    STAGES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for name in &skip {
+        if !STAGES.iter().any(|s| s.name == name) {
+            eprintln!("note: --skip {name} matches no stage");
+        }
+    }
+
+    let root = repo_root();
+    let mut results: Vec<(&'static str, &'static str, f64)> = Vec::new();
+    let mut failed = false;
+    let total = Instant::now();
+    for stage in &STAGES {
+        if skip.iter().any(|s| s == stage.name) {
+            results.push((stage.name, "skipped", 0.0));
+            continue;
+        }
+        println!("==> {}", stage.name);
+        let start = Instant::now();
+        let ok = if stage.args.is_empty() {
+            lint() == ExitCode::SUCCESS
+        } else {
+            match Command::new("cargo")
+                .args(stage.args)
+                .current_dir(&root)
+                .status()
+            {
+                Ok(status) => status.success(),
+                Err(e) => {
+                    eprintln!("cannot spawn cargo: {e}");
+                    false
+                }
+            }
+        };
+        let secs = start.elapsed().as_secs_f64();
+        results.push((stage.name, if ok { "ok" } else { "FAILED" }, secs));
+        if !ok {
+            failed = true;
+            break;
+        }
+    }
+
+    println!("\n  stage         result    wall");
+    println!("  ------------  --------  --------");
+    for (name, outcome, secs) in &results {
+        println!("  {name:<12}  {outcome:<8}  {secs:7.1}s");
+    }
+    println!("  ------------  --------  --------");
+    println!(
+        "  total                   {:7.1}s",
+        total.elapsed().as_secs_f64()
+    );
+    if failed {
+        println!("\nCI gate FAILED.");
+        ExitCode::FAILURE
+    } else {
+        println!("\nCI gate green.");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Delegates to the tolerance-based artifact comparator in `rtdvs-bench`
+/// (`figures check`), forwarding any extra arguments (e.g. `--tolerance
+/// 0.02` or `--golden-dir some/dir`).
+fn bench_check(args: &[String]) -> ExitCode {
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "check",
+        ])
+        .args(args)
+        .current_dir(repo_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cannot spawn cargo: {e}");
+            ExitCode::FAILURE
         }
     }
 }
