@@ -40,9 +40,13 @@
 //! assert!(violations.is_empty(), "{violations:?}");
 //! ```
 
+mod classify;
 mod replay;
 mod violation;
 
+pub use classify::{
+    classify_misses, fault_induced_misses, policy_bug_misses, ClassifiedMiss, MissClass,
+};
 pub use replay::{audit_run, TraceAuditor};
 pub use violation::{Rule, Violation};
 
@@ -97,6 +101,68 @@ mod tests {
         // Manual makes no guarantee, so the miss is not a guarantee
         // violation.
         assert!(!violations.iter().any(|v| v.rule == Rule::GuaranteeViolated));
+    }
+
+    /// Under injected faults the auditor must not blame the policy: every
+    /// miss that follows a fault is classified fault-induced, and the
+    /// point/scheduler divergence caused by containment is not flagged.
+    #[test]
+    fn faulty_runs_produce_no_policy_findings() {
+        use rtdvs_sim::FaultPlan;
+        let tasks = table2_task_set();
+        let machine = Machine::machine0();
+        // Two plans: a mild one, and a harsh one whose heavy release
+        // jitter once tripped ccRM's pacing cross-check (the policy-state
+        // invariants must stand down when faults void their premises).
+        let plans = [
+            FaultPlan::new(0xC405)
+                .with_overruns(0.3, 1.5)
+                .with_stuck_transitions(0.1)
+                .with_transition_jitter(0.1, Time::from_ms(0.1))
+                .with_release_jitter(0.1, 0.25),
+            FaultPlan::new(0xBEEF)
+                .with_overruns(0.4, 1.5)
+                .with_stuck_transitions(0.2)
+                .with_transition_jitter(0.2, Time::from_ms(0.1))
+                .with_release_jitter(0.2, 0.25),
+        ];
+        for (plan, kind) in plans
+            .iter()
+            .flat_map(|p| PolicyKind::paper_six().into_iter().map(move |k| (p, k)))
+        {
+            let config = cfg().with_faults(plan.clone());
+            let (report, violations) = audit_run(&tasks, &machine, kind, &config);
+            assert!(
+                !report.faults.is_empty(),
+                "{}: the plan should have injected something",
+                kind.name()
+            );
+            for v in &violations {
+                assert!(
+                    v.rule == Rule::FaultInducedMiss,
+                    "{}: unexpected policy finding {v}",
+                    kind.name()
+                );
+            }
+            assert_eq!(
+                crate::policy_bug_misses(&report),
+                0,
+                "{}: classifier blames the policy",
+                kind.name()
+            );
+        }
+    }
+
+    /// The same run without a fault plan audits exactly as before — the
+    /// fault-aware paths must not relax anything for clean runs.
+    #[test]
+    fn clean_runs_still_fully_audited() {
+        let tasks = table2_task_set();
+        let machine = Machine::machine0();
+        let (report, violations) = audit_run(&tasks, &machine, PolicyKind::CcEdf, &cfg());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(crate::policy_bug_misses(&report), 0);
+        assert_eq!(crate::fault_induced_misses(&report), 0);
     }
 
     #[test]

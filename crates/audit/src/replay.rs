@@ -84,7 +84,7 @@ impl<'a> TraceAuditor<'a> {
         };
         let mut out = Vec::new();
         self.check_report(report, trace, &mut out);
-        let mut replay = Replay::new(self, trace);
+        let mut replay = Replay::new(self, trace, report);
         replay.run(trace);
         out.extend(replay.violations);
         out
@@ -144,8 +144,13 @@ impl<'a> TraceAuditor<'a> {
         // §2.5: at most two switches per task invocation, plus the initial
         // setting. Holds for the paper's six policies and a manual pin; the
         // interval governor and stochastic extension re-plan on reviews and
-        // are exempt by design.
-        if switch_bounded(self.kind) && report.switches > 2 * releases + 1 {
+        // are exempt by design. Containment escalations and stuck
+        // transitions both falsify the bound, so fault-injected runs are
+        // exempt too.
+        if switch_bounded(self.kind)
+            && !self.cfg.fault.is_active()
+            && report.switches > 2 * releases + 1
+        {
             out.push(Violation {
                 time: Time::ZERO,
                 task: None,
@@ -242,11 +247,19 @@ struct Replay<'a> {
     segments: &'a [Segment],
     seg_idx: usize,
     pos: Time,
+    /// Whether the run had an active fault plan. Injected faults make the
+    /// applied operating point legitimately diverge from the replayed
+    /// policy (stuck transitions, containment escalation to `f_max`,
+    /// quarantine reordering), so point- and scheduler-divergence checks
+    /// are suppressed; state tracking and accounting checks still run.
+    fault_active: bool,
+    /// Earliest injected fault, for miss classification.
+    first_fault: Option<Time>,
     violations: Vec<Violation>,
 }
 
 impl<'a> Replay<'a> {
-    fn new(auditor: &TraceAuditor<'a>, trace: &'a Trace) -> Replay<'a> {
+    fn new(auditor: &TraceAuditor<'a>, trace: &'a Trace, report: &SimReport) -> Replay<'a> {
         let rt = auditor
             .tasks
             .tasks()
@@ -279,6 +292,8 @@ impl<'a> Replay<'a> {
             segments: trace.segments(),
             seg_idx: 0,
             pos: Time::ZERO,
+            fault_active: auditor.cfg.fault.is_active(),
+            first_fault: report.faults.iter().map(|f| f.time()).reduce(Time::min),
             violations: Vec::new(),
         }
     }
@@ -375,7 +390,7 @@ impl<'a> Replay<'a> {
         match seg.activity {
             Activity::Run(id) => {
                 let want = self.policy.as_dyn_ref().current_point();
-                if seg.point != want {
+                if seg.point != want && !self.fault_active {
                     self.flag(
                         a,
                         Some(id),
@@ -395,30 +410,32 @@ impl<'a> Replay<'a> {
                     );
                     return;
                 }
-                let ready = self.ready();
-                match self
-                    .policy
-                    .as_dyn_ref()
-                    .scheduler()
-                    .pick_next(self.tasks, &ready)
-                {
-                    Some(pick) if pick == id => {}
-                    Some(pick) => self.flag(
-                        a,
-                        Some(id),
-                        Rule::TraceConsistency,
-                        format!(
-                            "priority inversion: T{} ran while T{} had priority",
-                            id.0 + 1,
-                            pick.0 + 1
+                if !self.fault_active {
+                    let ready = self.ready();
+                    match self
+                        .policy
+                        .as_dyn_ref()
+                        .scheduler()
+                        .pick_next(self.tasks, &ready)
+                    {
+                        Some(pick) if pick == id => {}
+                        Some(pick) => self.flag(
+                            a,
+                            Some(id),
+                            Rule::TraceConsistency,
+                            format!(
+                                "priority inversion: T{} ran while T{} had priority",
+                                id.0 + 1,
+                                pick.0 + 1
+                            ),
                         ),
-                    ),
-                    None => self.flag(
-                        a,
-                        Some(id),
-                        Rule::TraceConsistency,
-                        "task ran with an empty ready queue".to_owned(),
-                    ),
+                        None => self.flag(
+                            a,
+                            Some(id),
+                            Rule::TraceConsistency,
+                            "task ran with an empty ready queue".to_owned(),
+                        ),
+                    }
                 }
                 let work = (b - a).work_at(freq);
                 let rt = &mut self.rt[id.0];
@@ -434,6 +451,9 @@ impl<'a> Replay<'a> {
                 }
             }
             Activity::Idle => {
+                if self.fault_active {
+                    return;
+                }
                 let want = self.policy.as_dyn_ref().idle_point(self.machine);
                 if seg.point != want {
                     self.flag(
@@ -467,7 +487,10 @@ impl<'a> Replay<'a> {
                 }
             }
             Activity::Stall => {
-                if self.cfg.switch_overhead.is_none() {
+                // Injected transition jitter stalls the pipeline even when
+                // no systematic switch overhead is configured.
+                if self.cfg.switch_overhead.is_none() && self.cfg.fault.transition_jitter.is_none()
+                {
                     self.flag(
                         a,
                         None,
@@ -561,7 +584,7 @@ impl<'a> Replay<'a> {
                 format!("deadline {deadline} lies beyond the next release {next_release}"),
             );
         }
-        if actual.as_ms() > spec.wcet().as_ms() + EPS {
+        if actual.as_ms() > spec.wcet().as_ms() + EPS && self.cfg.fault.overrun.is_none() {
             self.flag(
                 time,
                 Some(task),
@@ -652,26 +675,46 @@ impl<'a> Replay<'a> {
             );
             return;
         }
-        self.flag(
-            time,
-            Some(task),
-            Rule::DeadlineMiss,
-            format!(
-                "invocation {} missed {deadline} with {remaining} left",
-                self.rt[i].invocation
-            ),
-        );
-        if self.guarantees {
+        let fault_induced = self
+            .first_fault
+            .map(|t| t.at_or_before(deadline))
+            .unwrap_or(false);
+        if fault_induced {
+            // An injected fault preceded the deadline: the admission
+            // test's premises were void, so the policy is not implicated.
             self.flag(
                 time,
                 Some(task),
-                Rule::GuaranteeViolated,
+                Rule::FaultInducedMiss,
                 format!(
-                    "{} admitted the set (condition C1) yet T{} missed {deadline}",
-                    self.kind.name(),
-                    i + 1
+                    "invocation {} missed {deadline} with {remaining} left \
+                     (first injected fault at {})",
+                    self.rt[i].invocation,
+                    self.first_fault.unwrap_or(Time::ZERO),
                 ),
             );
+        } else {
+            self.flag(
+                time,
+                Some(task),
+                Rule::DeadlineMiss,
+                format!(
+                    "invocation {} missed {deadline} with {remaining} left",
+                    self.rt[i].invocation
+                ),
+            );
+            if self.guarantees {
+                self.flag(
+                    time,
+                    Some(task),
+                    Rule::GuaranteeViolated,
+                    format!(
+                        "{} admitted the set (condition C1) yet T{} missed {deadline}",
+                        self.kind.name(),
+                        i + 1
+                    ),
+                );
+            }
         }
         if !deadline.approx_eq(self.rt[i].deadline) {
             let tracked = self.rt[i].deadline;
@@ -794,6 +837,15 @@ impl<'a> Replay<'a> {
 
     /// Policy-specific accounting checks after every scheduling decision.
     fn check_decision(&mut self, now: Time) {
+        // Every invariant below is premised on condition C2 (no task
+        // exceeds its WCET) and timely releases; an active fault plan
+        // voids those premises — e.g. an injected overrun pushes ccRM's
+        // outstanding allotment past what a conforming run could accrue —
+        // so the policy-state cross-checks stand down. Misses are still
+        // classified, and clean runs audit in full.
+        if self.fault_active {
+            return;
+        }
         let views = self.views();
         let sys = SystemView {
             now,

@@ -38,6 +38,11 @@ pub enum Rule {
     /// The trace is internally inconsistent (work accrual, release
     /// arithmetic, event ordering, missing trace, ...).
     TraceConsistency,
+    /// A deadline miss attributed to an injected fault rather than the
+    /// policy: a fault event preceded the missed deadline, voiding the
+    /// admission test's premises. Informational — chaos runs assert these
+    /// are the *only* kind of miss.
+    FaultInducedMiss,
 }
 
 impl Rule {
@@ -55,6 +60,7 @@ impl Rule {
             Rule::IdleAtLowest => "idle-at-lowest",
             Rule::PolicyDivergence => "policy-divergence",
             Rule::TraceConsistency => "trace-consistency",
+            Rule::FaultInducedMiss => "fault-induced-miss",
         }
     }
 
@@ -70,6 +76,7 @@ impl Rule {
             Rule::LaEdfDeferral => "§2.5 (Fig. 8)",
             Rule::IdleAtLowest => "§3.2 (idle at the lowest point)",
             Rule::PolicyDivergence | Rule::TraceConsistency => "trace replay",
+            Rule::FaultInducedMiss => "fault injection (chaos harness)",
         }
     }
 }
@@ -134,6 +141,7 @@ mod tests {
             Rule::IdleAtLowest,
             Rule::PolicyDivergence,
             Rule::TraceConsistency,
+            Rule::FaultInducedMiss,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

@@ -19,12 +19,21 @@
 //!   },
 //!   "series": [
 //!     {"policy": "ccEDF", "n_tasks": 5,
-//!      "points": [{"u": 0.05, "energy_norm": 0.5, "deadline_miss": 0}, ...]},
+//!      "points": [{"u": 0.05, "energy_norm": 0.5, "deadline_miss": 0,
+//!                  "fault_miss": 0}, ...]},
 //!     ...
 //!   ],
 //!   "wall_ms": 1234
 //! }
 //! ```
+//!
+//! Chaos-soak artifacts (grid label `"chaos-soak"`) reuse the schema with
+//! reinterpreted axes: `u` is the injected fault rate, `energy_norm` is
+//! the chaos run's energy against the same policy's fault-free baseline
+//! (the containment overhead), `deadline_miss` counts misses the audit
+//! classifier blames on the *policy*, and `fault_miss` counts the ones it
+//! attributes to injected faults. The guaranteed-policy zero-miss check
+//! then enforces "faults never turn into policy bugs" mechanically.
 //!
 //! Everything except `meta.threads` and `wall_ms` is a pure function of
 //! the experiment seed; [`BenchArtifact::canonical_json`] zeroes those two
@@ -50,10 +59,15 @@ pub const GUARANTEED_POLICIES: [&str; 4] = ["EDF", "StaticEDF", "ccEDF", "laEDF"
 pub struct BenchPoint {
     /// Worst-case utilization (x axis).
     pub u: f64,
-    /// Mean energy normalized against plain EDF (y axis).
+    /// Mean energy normalized against plain EDF (y axis). Chaos grids
+    /// normalize against the same policy's fault-free run instead.
     pub energy_norm: f64,
-    /// Total deadline misses across the point's task sets.
+    /// Total deadline misses across the point's task sets. Chaos grids
+    /// count only misses classified as policy bugs here.
     pub deadline_miss: u64,
+    /// Misses attributed to injected faults. Always 0 outside chaos
+    /// grids; absent in pre-fault artifacts, which parse as 0.
+    pub fault_miss: u64,
 }
 
 /// One curve: a policy on one panel.
@@ -117,6 +131,7 @@ impl BenchArtifact {
                         u: row.utilization,
                         energy_norm: sweep.normalized(i, p),
                         deadline_miss: row.misses[p],
+                        fault_miss: 0,
                     })
                     .collect(),
             })
@@ -178,10 +193,12 @@ impl BenchArtifact {
             for (j, p) in series.points.iter().enumerate() {
                 let _ = writeln!(
                     s,
-                    "      {{\"u\": {}, \"energy_norm\": {}, \"deadline_miss\": {}}}{}",
+                    "      {{\"u\": {}, \"energy_norm\": {}, \"deadline_miss\": {}, \
+                     \"fault_miss\": {}}}{}",
                     fmt_f64(p.u, 4),
                     fmt_f64(p.energy_norm, 6),
                     p.deadline_miss,
+                    p.fault_miss,
                     if j + 1 < series.points.len() { "," } else { "" }
                 );
             }
@@ -254,6 +271,11 @@ impl BenchArtifact {
                                     u: p.get("u")?.as_f64()?,
                                     energy_norm: p.get("energy_norm")?.as_f64()?,
                                     deadline_miss: p.get("deadline_miss")?.as_u64()?,
+                                    // Absent in pre-fault artifacts.
+                                    fault_miss: match p.get("fault_miss") {
+                                        Ok(v) => v.as_u64()?,
+                                        Err(_) => 0,
+                                    },
                                 })
                             })
                             .collect::<Result<_, ArtifactError>>()?,
@@ -269,8 +291,15 @@ impl BenchArtifact {
     /// whole utilization grid, plain EDF normalizes to 1, guaranteed
     /// policies never miss, and energies are positive. Returns one message
     /// per violation.
+    ///
+    /// Chaos-soak grids normalize each policy against its own fault-free
+    /// baseline, so the EDF-normalizes-to-1 check does not apply there;
+    /// the guaranteed-policy check does (and, because chaos artifacts put
+    /// only policy-blamed misses in `deadline_miss`, it enforces that no
+    /// injected fault was ever misclassified as a policy bug).
     #[must_use]
     pub fn validate(&self) -> Vec<String> {
+        let chaos = self.grid.label == "chaos-soak";
         let mut problems = Vec::new();
         let expected_series = self.grid.policies.len() * self.grid.n_tasks.len();
         if self.series.len() != expected_series {
@@ -297,7 +326,7 @@ impl BenchArtifact {
                         point.energy_norm, point.u
                     ));
                 }
-                if series.policy == "EDF" && (point.energy_norm - 1.0).abs() > 1e-9 {
+                if !chaos && series.policy == "EDF" && (point.energy_norm - 1.0).abs() > 1e-9 {
                     problems.push(format!(
                         "{tag}: EDF normalization is {} at U={}, must be 1",
                         point.energy_norm, point.u
@@ -370,6 +399,12 @@ pub fn compare(golden: &BenchArtifact, fresh: &BenchArtifact, tolerance: f64) ->
                 problems.push(format!(
                     "{tag} at U={}: {} deadline miss(es) vs golden {}",
                     gp.u, fp.deadline_miss, gp.deadline_miss
+                ));
+            }
+            if fp.fault_miss != gp.fault_miss {
+                problems.push(format!(
+                    "{tag} at U={}: {} fault-induced miss(es) vs golden {}",
+                    gp.u, fp.fault_miss, gp.fault_miss
                 ));
             }
         }
@@ -646,11 +681,13 @@ mod tests {
                             u: 0.5,
                             energy_norm: 1.0,
                             deadline_miss: 0,
+                            fault_miss: 0,
                         },
                         BenchPoint {
                             u: 0.9,
                             energy_norm: 1.0,
                             deadline_miss: 0,
+                            fault_miss: 0,
                         },
                     ],
                 },
@@ -662,11 +699,13 @@ mod tests {
                             u: 0.5,
                             energy_norm: 0.51,
                             deadline_miss: 0,
+                            fault_miss: 0,
                         },
                         BenchPoint {
                             u: 0.9,
                             energy_norm: 0.87,
                             deadline_miss: 0,
+                            fault_miss: 0,
                         },
                     ],
                 },
@@ -769,5 +808,41 @@ mod tests {
         let mut art = sample();
         art.series.pop();
         assert!(!art.validate().is_empty());
+    }
+
+    #[test]
+    fn pre_fault_artifacts_parse_with_zero_fault_miss() {
+        // Artifacts written before the fault_miss field must still load.
+        let text = sample().to_json().replace(", \"fault_miss\": 0", "");
+        assert!(!text.contains("fault_miss"));
+        let parsed = BenchArtifact::from_json(&text).expect("tolerant parse");
+        assert!(parsed
+            .series
+            .iter()
+            .all(|s| s.points.iter().all(|p| p.fault_miss == 0)));
+    }
+
+    #[test]
+    fn chaos_grids_skip_the_edf_normalization_check_only() {
+        let mut art = sample();
+        art.grid.label = "chaos-soak".to_owned();
+        // Chaos normalizes per-policy, so EDF ≠ 1 is legitimate there...
+        art.series[0].points[1].energy_norm = 1.07;
+        art.series[0].points[1].fault_miss = 3;
+        assert!(art.validate().is_empty(), "{:?}", art.validate());
+        // ...but a policy-blamed miss from a guaranteed policy is still a
+        // finding.
+        art.series[1].points[0].deadline_miss = 1;
+        assert_eq!(art.validate().len(), 1);
+    }
+
+    #[test]
+    fn compare_rejects_fault_miss_drift() {
+        let golden = sample();
+        let mut fresh = sample();
+        fresh.series[1].points[1].fault_miss = 2;
+        let problems = compare(&golden, &fresh, 0.01);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("fault-induced"), "{problems:?}");
     }
 }

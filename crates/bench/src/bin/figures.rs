@@ -3,21 +3,28 @@
 //!
 //! ```text
 //! figures [run] [--quick] [--threads N] [--seed S] [--out DIR]
-//!     Regenerate Figures 6–8 and the smoke sweep; write
-//!     BENCH_paper_figures.json and BENCH_sweep.json into DIR
-//!     (default: the repository root).
+//!     Regenerate Figures 6–8, the smoke sweep, and the chaos soak;
+//!     write BENCH_paper_figures.json, BENCH_sweep.json, and
+//!     BENCH_faults.json into DIR (default: the repository root).
 //!
 //! figures check [--tolerance FRACTION] [--golden-dir DIR] [--threads N]
 //!     Re-run the smoke grid and diff it against the committed
 //!     BENCH_sweep.json (default tolerance ±1% energy, deadline misses
 //!     must match exactly), then structurally validate the committed
-//!     BENCH_paper_figures.json. Exits non-zero on any divergence —
+//!     BENCH_paper_figures.json and BENCH_faults.json. Exits non-zero on any divergence —
 //!     this is what `xtask bench-check` and the CI bench-smoke stage run.
 //!
 //! figures bench [--threads-list 1,2,4] [--quick] [--seed S]
 //!     Run the Figure 6–8 grid once per thread count; report wall-clock,
 //!     event throughput, and speedup vs one thread, and verify the merged
 //!     results are byte-identical across thread counts.
+//!
+//! figures chaos [--tolerance FRACTION] [--golden-dir DIR]
+//!     Re-run the chaos-soak smoke grid (fault injection across all six
+//!     policies), assert that no miss is ever blamed on a policy, diff
+//!     the result against the committed BENCH_faults.json, and validate
+//!     its structure. This is what `xtask chaos` and the CI chaos-smoke
+//!     stage run.
 //! ```
 
 use std::num::NonZeroUsize;
@@ -25,6 +32,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rtdvs_bench::artifact::{compare, BenchArtifact};
+use rtdvs_bench::chaos::{chaos_smoke_config, run_chaos};
 use rtdvs_bench::figures::{
     paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
 };
@@ -36,6 +44,7 @@ const DEFAULT_SEED: u64 = 0x5eed;
 /// File names of the committed golden artifacts at the repository root.
 const PAPER_FIGURES_FILE: &str = "BENCH_paper_figures.json";
 const SWEEP_FILE: &str = "BENCH_sweep.json";
+const FAULTS_FILE: &str = "BENCH_faults.json";
 
 struct Args {
     command: String,
@@ -62,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" => args.command = a,
+            "run" | "check" | "bench" | "chaos" => args.command = a,
             "--quick" => args.quick = true,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a count")?;
@@ -103,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench] [--quick] [--threads N] [--threads-list 1,2,4] \
+    "usage: figures [run|check|bench|chaos] [--quick] [--threads N] [--threads-list 1,2,4] \
      [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
         .to_owned()
 }
@@ -196,9 +205,12 @@ fn run(args: &Args) -> Result<(), String> {
 
     let smoke = smoke_sweep_artifact(args.seed, threads);
     write_artifact(&out, SWEEP_FILE, &smoke)?;
+
+    let faults = run_chaos(&chaos_smoke_config(args.seed));
+    write_artifact(&out, FAULTS_FILE, &faults)?;
     println!(
         "total wall: {} ms across {} simulations",
-        artifact.wall_ms + smoke.wall_ms,
+        artifact.wall_ms + smoke.wall_ms + faults.wall_ms,
         figures.iter().map(|f| f.run.stats.sims).sum::<u64>()
     );
     Ok(())
@@ -244,21 +256,81 @@ fn check(args: &Args) -> Result<(), String> {
 
     // 2. Structural invariants of the committed paper-figures artifact
     //    (full regeneration is `figures run`; too slow for every push).
-    let paper = load_golden(&dir, PAPER_FIGURES_FILE)?;
-    let structural = paper.validate();
-    if structural.is_empty() {
-        println!(
-            "bench-check: {} is structurally sound ({} series)",
-            PAPER_FIGURES_FILE,
-            paper.series.len()
-        );
-        Ok(())
-    } else {
-        for p in &structural {
-            eprintln!("bench-check: {PAPER_FIGURES_FILE}: {p}");
+    for name in [PAPER_FIGURES_FILE, FAULTS_FILE] {
+        let golden = load_golden(&dir, name)?;
+        let structural = golden.validate();
+        if structural.is_empty() {
+            println!(
+                "bench-check: {} is structurally sound ({} series)",
+                name,
+                golden.series.len()
+            );
+        } else {
+            for p in &structural {
+                eprintln!("bench-check: {name}: {p}");
+            }
+            return Err(format!(
+                "{name}: {} structural problem(s)",
+                structural.len()
+            ));
         }
-        Err(format!("{} structural problem(s)", structural.len()))
     }
+    Ok(())
+}
+
+fn chaos(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let golden = load_golden(&dir, FAULTS_FILE)?;
+    let fresh = run_chaos(&chaos_smoke_config(golden.seed));
+
+    // 1. Containment never lets an injected fault read as a policy bug.
+    let mut fault_misses = 0u64;
+    for series in &fresh.series {
+        for p in &series.points {
+            if p.deadline_miss != 0 {
+                return Err(format!(
+                    "chaos: {} blamed for {} miss(es) at fault rate {} — \
+                     a policy-bug miss under injection is a real bug",
+                    series.policy, p.deadline_miss, p.u
+                ));
+            }
+            fault_misses += p.fault_miss;
+        }
+    }
+
+    // 2. The fresh soak reproduces the committed golden.
+    let problems = compare(&golden, &fresh, args.tolerance);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("chaos: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {FAULTS_FILE}; if the fault model intentionally \
+             changed, regenerate the goldens with `figures run` and commit them",
+            problems.len()
+        ));
+    }
+
+    // 3. Structural invariants of the artifact itself.
+    let structural = fresh.validate();
+    if !structural.is_empty() {
+        for p in &structural {
+            eprintln!("chaos: {FAULTS_FILE}: {p}");
+        }
+        return Err(format!("{} structural problem(s)", structural.len()));
+    }
+
+    println!(
+        "chaos: {} policies x {} fault rates reproduce {} within ±{:.1}% \
+         ({} fault-induced misses, 0 policy bugs, {} ms)",
+        fresh.grid.policies.len(),
+        fresh.grid.utilizations.len(),
+        FAULTS_FILE,
+        100.0 * args.tolerance,
+        fault_misses,
+        fresh.wall_ms
+    );
+    Ok(())
 }
 
 fn bench(args: &Args) -> Result<(), String> {
@@ -315,6 +387,7 @@ fn main() -> ExitCode {
         "run" => run(&args),
         "check" => check(&args),
         "bench" => bench(&args),
+        "chaos" => chaos(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

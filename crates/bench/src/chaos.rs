@@ -1,0 +1,275 @@
+//! Chaos-soak harness: fault-rate sweeps with blame accounting.
+//!
+//! Where the utilization sweeps ask "how much energy does each policy
+//! save?", the chaos soak asks "who breaks first, and whose fault is
+//! it?". It drives every policy over the worked example of Table 2 while
+//! the deterministic fault layer ([`rtdvs_sim::FaultPlan`]) injects WCET
+//! overruns, stuck operating-point transitions, transition-latency
+//! jitter, and release jitter at increasing rates. Every run is then fed
+//! to the audit layer's miss classifier
+//! ([`rtdvs_audit::classify_misses`]): misses an injected fault can
+//! explain are tallied separately from misses that would indict the
+//! policy itself. A healthy engine shows **zero** policy-bug misses at
+//! every fault rate — the containment path (escalate to the top
+//! frequency, quarantine the offender) may burn energy, but it must
+//! never let an injected fault masquerade as a scheduler bug.
+//!
+//! The output reuses the `rtdvs-bench/v1` artifact with the axes
+//! reinterpreted (grid label `"chaos-soak"`): `u` is the injected fault
+//! rate, `energy_norm` is energy relative to the same policy's
+//! fault-free run at the same seeds, `deadline_miss` counts only
+//! policy-blamed misses, and `fault_miss` counts fault-induced ones.
+//!
+//! The workload is fixed to [`table2_task_set`] deliberately: all six
+//! paper policies admit it (Table 4), so a fault-free run misses nothing
+//! and *any* policy-blamed miss in the grid is a genuine bug, not an
+//! artifact of an inadmissible set.
+
+use std::time::Instant;
+
+use rtdvs_audit::{fault_induced_misses, policy_bug_misses};
+use rtdvs_core::example::table2_task_set;
+use rtdvs_core::machine::Machine;
+use rtdvs_core::policy::PolicyKind;
+use rtdvs_core::time::Time;
+use rtdvs_sim::{simulate, ExecModel, FaultPlan, SimConfig};
+use rtdvs_taskgen::SplitMix64;
+
+use crate::artifact::{BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
+
+/// The grid label that switches the artifact validator into chaos-axis
+/// mode (see [`BenchArtifact::validate`]).
+pub const CHAOS_LABEL: &str = "chaos-soak";
+
+/// Configuration for one chaos soak.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Machine to simulate.
+    pub machine: Machine,
+    /// Policies to soak, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// Injected fault rates (x axis). `0.0` means [`FaultPlan::none`].
+    pub fault_rates: Vec<f64>,
+    /// Independent `(sim seed, fault seed)` pairs averaged per rate.
+    pub sets_per_rate: usize,
+    /// Simulated horizon per run.
+    pub duration: Time,
+    /// Actual-computation model (faults inject on top of it).
+    pub exec: ExecModel,
+    /// Base RNG seed every per-cell stream derives from.
+    pub seed: u64,
+}
+
+/// The grid behind `BENCH_faults.json` and the CI chaos-smoke stage:
+/// fault rates 0–20% across all six paper policies, three seed pairs per
+/// rate, uniform actual computation on machine 0. Small enough to re-run
+/// on every push.
+#[must_use]
+pub fn chaos_smoke_config(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        machine: Machine::machine0(),
+        policies: PolicyKind::paper_six().to_vec(),
+        fault_rates: vec![0.0, 0.05, 0.1, 0.2],
+        sets_per_rate: 3,
+        duration: Time::from_ms(600.0),
+        exec: ExecModel::uniform(),
+        seed,
+    }
+}
+
+/// The fault plan injected at `rate`, seeded from the cell's stream.
+///
+/// Overruns are the headline fault (rate as given, 1.5× the declared
+/// worst case); the hardware-side faults — stuck transitions, transition
+/// jitter, delayed releases — ride along at half the rate. At rate 0 the
+/// builders install nothing, so the plan is exactly [`FaultPlan::none`]
+/// and the engine takes its zero-cost path.
+#[must_use]
+pub fn chaos_plan(fault_seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::new(fault_seed)
+        .with_overruns(rate, 1.5)
+        .with_stuck_transitions(rate * 0.5)
+        .with_transition_jitter(rate * 0.5, Time::from_ms(0.1))
+        .with_release_jitter(rate * 0.5, 0.25)
+}
+
+/// One policy's tallies at one fault rate.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateCell {
+    /// Energy with faults injected, summed over the rate's seed pairs.
+    energy: f64,
+    /// Energy of the fault-free run at the same seeds.
+    baseline: f64,
+    /// Misses the classifier blames on the policy.
+    policy_bug: u64,
+    /// Misses the classifier attributes to injected faults.
+    fault_induced: u64,
+}
+
+/// Runs the chaos soak and packs it into a `"chaos-soak"` artifact.
+///
+/// Deterministic in `cfg` alone: each `(rate, set)` cell derives its
+/// `(sim seed, fault seed)` pair from
+/// `SplitMix64::seed_from_u64(cfg.seed).split(cell_id)` — the same
+/// per-cell stream discipline as the sharded sweep runner — and the grid
+/// is folded in cell-id order. Only `wall_ms` varies between runs.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or a fault rate is outside `[0, 1]`.
+#[must_use]
+pub fn run_chaos(cfg: &ChaosConfig) -> BenchArtifact {
+    assert!(
+        !cfg.fault_rates.is_empty() && cfg.sets_per_rate > 0 && !cfg.policies.is_empty(),
+        "chaos grid must be non-empty"
+    );
+    assert!(
+        cfg.fault_rates.iter().all(|r| (0.0..=1.0).contains(r)),
+        "fault rates are probabilities"
+    );
+    let start = Instant::now();
+    let tasks = table2_task_set();
+    let n_pol = cfg.policies.len();
+    let mut cells = vec![RateCell::default(); cfg.fault_rates.len() * n_pol];
+
+    for (ri, &rate) in cfg.fault_rates.iter().enumerate() {
+        for s in 0..cfg.sets_per_rate {
+            let cell_id = (ri * cfg.sets_per_rate + s) as u64;
+            let mut stream = SplitMix64::seed_from_u64(cfg.seed).split(cell_id);
+            let sim_seed = stream.next_u64();
+            let fault_seed = stream.next_u64();
+            for (pi, kind) in cfg.policies.iter().enumerate() {
+                let chaos_cfg = SimConfig::new(cfg.duration)
+                    .with_exec(cfg.exec.clone())
+                    .with_seed(sim_seed)
+                    .with_faults(chaos_plan(fault_seed, rate));
+                let clean_cfg = SimConfig::new(cfg.duration)
+                    .with_exec(cfg.exec.clone())
+                    .with_seed(sim_seed);
+                let report = simulate(&tasks, &cfg.machine, *kind, &chaos_cfg);
+                let clean = simulate(&tasks, &cfg.machine, *kind, &clean_cfg);
+                let cell = &mut cells[ri * n_pol + pi];
+                cell.energy += report.energy();
+                cell.baseline += clean.energy();
+                cell.policy_bug += policy_bug_misses(&report);
+                cell.fault_induced += fault_induced_misses(&report);
+            }
+        }
+    }
+
+    let series = cfg
+        .policies
+        .iter()
+        .enumerate()
+        .map(|(pi, kind)| BenchSeries {
+            policy: kind.name().to_owned(),
+            n_tasks: tasks.len(),
+            points: cfg
+                .fault_rates
+                .iter()
+                .enumerate()
+                .map(|(ri, &rate)| {
+                    let cell = &cells[ri * n_pol + pi];
+                    BenchPoint {
+                        u: rate,
+                        energy_norm: cell.energy / cell.baseline,
+                        deadline_miss: cell.policy_bug,
+                        fault_miss: cell.fault_induced,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    BenchArtifact {
+        seed: cfg.seed,
+        threads: 1,
+        grid: BenchGrid {
+            label: CHAOS_LABEL.to_owned(),
+            n_tasks: vec![tasks.len()],
+            utilizations: cfg.fault_rates.clone(),
+            sets_per_point: cfg.sets_per_rate,
+            duration_ms: cfg.duration.as_ms(),
+            policies: cfg.policies.iter().map(|k| k.name().to_owned()).collect(),
+        },
+        series,
+        wall_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosConfig {
+        let mut cfg = chaos_smoke_config(0x50AC);
+        cfg.fault_rates = vec![0.0, 0.2];
+        cfg.sets_per_rate = 2;
+        cfg.duration = Time::from_ms(300.0);
+        cfg
+    }
+
+    #[test]
+    fn chaos_artifact_is_deterministic() {
+        let cfg = tiny();
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn rate_zero_column_is_the_fault_free_baseline() {
+        // At rate 0 the plan is FaultPlan::none(), so the chaos run IS
+        // the baseline: the normalization is exactly 1 and nothing can
+        // miss (Table 2 is admitted by every paper policy).
+        let artifact = run_chaos(&tiny());
+        for series in &artifact.series {
+            let p0 = &series.points[0];
+            assert_eq!(p0.u, 0.0);
+            assert_eq!(
+                p0.energy_norm.to_bits(),
+                1.0_f64.to_bits(),
+                "{}",
+                series.policy
+            );
+            assert_eq!(p0.deadline_miss, 0, "{}", series.policy);
+            assert_eq!(p0.fault_miss, 0, "{}", series.policy);
+        }
+    }
+
+    #[test]
+    fn smoke_grid_has_zero_policy_bug_misses_and_validates() {
+        // The PR's acceptance criterion: across the whole smoke grid, no
+        // miss is ever blamed on a policy — containment and the blame
+        // classifier absorb every injected fault.
+        let artifact = run_chaos(&chaos_smoke_config(0x5eed));
+        let problems = artifact.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+        let mut injected_misses = 0;
+        for series in &artifact.series {
+            for p in &series.points {
+                assert_eq!(
+                    p.deadline_miss, 0,
+                    "{} has a policy-blamed miss at rate {}",
+                    series.policy, p.u
+                );
+                injected_misses += p.fault_miss;
+            }
+        }
+        // The soak is only meaningful if the faults actually bite.
+        assert!(injected_misses > 0, "no fault ever caused a miss");
+    }
+
+    #[test]
+    fn faults_cost_energy_through_containment() {
+        // Escalating to the top frequency on containment can only add
+        // energy; at the highest rate some policy must pay for it.
+        let artifact = run_chaos(&tiny());
+        let worst = artifact
+            .series
+            .iter()
+            .map(|s| s.points.last().expect("non-empty").energy_norm)
+            .fold(f64::MIN, f64::max);
+        assert!(worst > 1.0, "containment never cost anything: {worst}");
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod chaos;
 pub mod chart;
 pub mod figures;
 pub mod microbench;
@@ -19,6 +20,7 @@ pub mod sweep;
 pub mod taskfile;
 
 pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
+pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
 pub use chart::render_normalized_chart;
 pub use figures::*;
 pub use runner::{run_sweep_threads, RunnerStats, SweepRun};

@@ -116,6 +116,9 @@ fn eval_cell(cfg: &SweepConfig, edf_idx: Option<usize>, ui: usize, s: usize) -> 
         switch_overhead: None,
         miss_policy: rtdvs_sim::MissPolicy::DropRemaining,
         record_trace: false,
+        // An inactive plan is provably zero-cost: the BENCH goldens stay
+        // byte-identical to the pre-fault engine.
+        fault: rtdvs_sim::FaultPlan::none(),
     };
 
     let mut out = CellOut {

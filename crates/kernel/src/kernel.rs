@@ -116,6 +116,28 @@ pub enum KernelEvent {
         /// The policy's display name.
         name: &'static str,
     },
+    /// Degraded mode: the kernel shed a faulty task (overrun or deadline
+    /// miss) to protect the guarantees of the rest of the set.
+    Shed {
+        /// The shed task.
+        handle: TaskHandle,
+        /// Its peak observed demand (what admission will be asked to cover
+        /// on re-admission).
+        observed: Work,
+    },
+    /// A shed task passed the admission test again and rejoined the set,
+    /// with its computing bound renegotiated to the observed peak.
+    Readmitted {
+        /// The re-admitted task.
+        handle: TaskHandle,
+        /// The renegotiated worst-case bound.
+        bound: Work,
+    },
+    /// The kernel entered (`active = true`) or left degraded mode.
+    Degraded {
+        /// Whether the kernel is degraded after this transition.
+        active: bool,
+    },
 }
 
 /// Errors from the admission and lifecycle API.
@@ -166,6 +188,26 @@ struct Entry {
     next_release: Time,
     deferred: bool,
     overrun_logged: bool,
+    /// Largest actual demand any invocation of this task has shown.
+    observed_peak: Work,
+    /// Marked for shedding at the next event-processing pass (degraded
+    /// mode only).
+    pending_shed: bool,
+}
+
+/// A task evicted in degraded mode, waiting to be re-admitted through the
+/// ordinary admission test with its bound renegotiated to what it actually
+/// used.
+struct ShedTask {
+    handle: TaskHandle,
+    period: Time,
+    /// The user-declared bound it was first admitted with.
+    wcet: Work,
+    observed_peak: Work,
+    invocation: u64,
+    body: Box<dyn TaskBody>,
+    /// Next time the kernel will retry admission.
+    next_attempt: Time,
 }
 
 /// The RT-DVS kernel: periodic task runtime + pluggable policy module +
@@ -187,6 +229,11 @@ pub struct RtKernel {
     /// worst-case task computation times").
     account_switch_overhead: bool,
     defer_new_tasks: bool,
+    /// Graceful degradation: shed misbehaving tasks instead of letting
+    /// them break everyone's deadlines. Off by default (the paper's
+    /// prototype only *logs* overruns).
+    degrade_on_fault: bool,
+    shed: Vec<ShedTask>,
     log: Vec<(Time, KernelEvent)>,
     next_handle: u64,
 }
@@ -212,6 +259,8 @@ impl RtKernel {
             switch_overhead: None,
             account_switch_overhead: false,
             defer_new_tasks: true,
+            degrade_on_fault: false,
+            shed: Vec::new(),
             log: Vec::new(),
             next_handle: 1,
         };
@@ -277,6 +326,21 @@ impl RtKernel {
         self
     }
 
+    /// Enables graceful degradation. A task whose invocation overruns its
+    /// declared bound or misses its deadline is *shed*: removed from the
+    /// set so the policy's guarantees for everyone else hold again, and
+    /// queued for re-admission. Every period the kernel retries admission
+    /// through the ordinary [`DvsPolicy::guarantees`] test with the bound
+    /// renegotiated to the task's observed peak demand; if the enlarged
+    /// set fits, the task rejoins (deferred-release rules apply).
+    ///
+    /// Off by default — the paper's prototype only *logs* overruns.
+    #[must_use]
+    pub fn with_degraded_mode(mut self) -> RtKernel {
+        self.degrade_on_fault = true;
+        self
+    }
+
     /// The kernel's virtual clock.
     #[must_use]
     pub fn now(&self) -> Time {
@@ -330,6 +394,32 @@ impl RtKernel {
     #[must_use]
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Whether the kernel is degraded: at least one task has been shed and
+    /// is waiting for re-admission. Always `false` unless
+    /// [`RtKernel::with_degraded_mode`] was used.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.shed.is_empty()
+    }
+
+    /// The currently shed tasks, as `(handle, observed peak demand)`.
+    #[must_use]
+    pub fn shed_tasks(&self) -> Vec<(TaskHandle, Work)> {
+        self.shed
+            .iter()
+            .map(|t| (t.handle, t.observed_peak))
+            .collect()
+    }
+
+    /// Invocations logged as overrunning their declared bound so far.
+    #[must_use]
+    pub fn overruns(&self) -> u64 {
+        self.log
+            .iter()
+            .filter(|(_, e)| matches!(e, KernelEvent::Overrun { .. }))
+            .count() as u64
     }
 
     /// The currently applied normalized frequency.
@@ -386,6 +476,8 @@ impl RtKernel {
             next_release: self.now,
             deferred,
             overrun_logged: false,
+            observed_peak: Work::ZERO,
+            pending_shed: false,
         });
         self.log
             .push((self.now, KernelEvent::Admitted { handle, deferred }));
@@ -525,8 +617,12 @@ impl RtKernel {
         e.executed = e.actual;
         e.state = InvState::Completed;
         e.body.on_invocation_complete(e.invocation, now);
+        e.observed_peak = e.observed_peak.max(e.actual);
         if e.actual.as_ms() > e.user_spec.wcet().as_ms() + EPS && !e.overrun_logged {
             e.overrun_logged = true;
+            if self.degrade_on_fault {
+                e.pending_shed = true;
+            }
             let ev = KernelEvent::Overrun {
                 handle: e.handle,
                 invocation: e.invocation,
@@ -552,6 +648,14 @@ impl RtKernel {
                 remaining: self.remaining(idx),
             };
             self.log.push((self.now, ev));
+            if self.degrade_on_fault {
+                // Don't re-release a misbehaving task: shed it at the
+                // next event-processing pass instead.
+                let e = &mut self.entries[idx];
+                e.observed_peak = e.observed_peak.max(e.actual);
+                e.pending_shed = true;
+                return;
+            }
         }
         let e = &mut self.entries[idx];
         e.invocation += 1;
@@ -570,9 +674,114 @@ impl RtKernel {
         self.notify(idx, true);
     }
 
+    /// Evicts every entry marked `pending_shed`, stashing it for periodic
+    /// re-admission attempts. Returns whether anything was shed.
+    fn shed_pending(&mut self) -> bool {
+        let mut any = false;
+        let mut i = 0;
+        while i < self.entries.len() {
+            if !self.entries[i].pending_shed {
+                i += 1;
+                continue;
+            }
+            let e = self.entries.remove(i);
+            if self.shed.is_empty() {
+                self.log
+                    .push((self.now, KernelEvent::Degraded { active: true }));
+            }
+            let ev = KernelEvent::Shed {
+                handle: e.handle,
+                observed: e.observed_peak,
+            };
+            self.log.push((self.now, ev));
+            self.shed.push(ShedTask {
+                handle: e.handle,
+                period: e.user_spec.period(),
+                wcet: e.user_spec.wcet(),
+                observed_peak: e.observed_peak,
+                invocation: e.invocation,
+                body: e.body,
+                next_attempt: self.now + e.user_spec.period(),
+            });
+            any = true;
+        }
+        if any {
+            self.rebuild_and_reinit();
+        }
+        any
+    }
+
+    /// Retries admission for every shed task whose attempt time is due,
+    /// with the bound renegotiated to `max(declared, observed peak)`.
+    /// Returns whether anything rejoined the set.
+    fn try_readmit(&mut self) -> bool {
+        let mut any = false;
+        let mut i = 0;
+        while i < self.shed.len() {
+            if !self.shed[i].next_attempt.at_or_before(self.now) {
+                i += 1;
+                continue;
+            }
+            let period = self.shed[i].period;
+            let bound = self.shed[i].wcet.max(self.shed[i].observed_peak);
+            let admitted = Task::new(period, bound).ok().and_then(|user_spec| {
+                let spec = user_spec.with_inflated_wcet(self.stall_budget()).ok()?;
+                let mut specs: Vec<Task> = self.entries.iter().map(|e| e.spec).collect();
+                specs.push(spec);
+                let candidate = TaskSet::new(specs).ok()?;
+                self.policy
+                    .guarantees(&candidate)
+                    .then_some((user_spec, spec))
+            });
+            let Some((user_spec, spec)) = admitted else {
+                // Still does not fit; retry a period later.
+                self.shed[i].next_attempt = self.now + period;
+                i += 1;
+                continue;
+            };
+            let t = self.shed.remove(i);
+            let deferred =
+                self.defer_new_tasks && self.entries.iter().any(|e| e.state == InvState::Active);
+            self.entries.push(Entry {
+                handle: t.handle,
+                spec,
+                user_spec,
+                body: t.body,
+                invocation: t.invocation,
+                state: InvState::Inactive,
+                executed: Work::ZERO,
+                actual: Work::ZERO,
+                deadline: self.now + period,
+                next_release: self.now,
+                deferred,
+                overrun_logged: false,
+                observed_peak: t.observed_peak,
+                pending_shed: false,
+            });
+            self.log.push((
+                self.now,
+                KernelEvent::Readmitted {
+                    handle: t.handle,
+                    bound,
+                },
+            ));
+            if self.shed.is_empty() {
+                self.log
+                    .push((self.now, KernelEvent::Degraded { active: false }));
+            }
+            self.rebuild_and_reinit();
+            any = true;
+        }
+        any
+    }
+
     fn process_due_events(&mut self) {
         loop {
             let mut progressed = false;
+            if self.degrade_on_fault {
+                progressed |= self.shed_pending();
+                progressed |= self.try_readmit();
+            }
             for i in 0..self.entries.len() {
                 if self.entries[i].state == InvState::Active && !self.remaining(i).is_positive() {
                     self.complete(i);
@@ -678,6 +887,9 @@ impl RtKernel {
                     t_next = t_next.min(e.next_release.max(self.now));
                 }
             }
+            for shed in &self.shed {
+                t_next = t_next.min(shed.next_attempt.max(self.now));
+            }
             if let Some(id) = running {
                 let exec_start = self.now.max(self.stall_until);
                 t_next = t_next.min(exec_start + self.remaining(id.0).duration_at(op.freq));
@@ -732,11 +944,13 @@ impl RtKernel {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "rtdvs: t={:.3}ms policy={} freq={:.3} energy={:.3}",
+            "rtdvs: t={:.3}ms policy={} freq={:.3} energy={:.3} overruns={} degraded={}",
             self.now.as_ms(),
             self.policy.name(),
             self.current_frequency(),
             self.energy(),
+            self.overruns(),
+            if self.degraded() { "yes" } else { "no" },
         );
         for e in &self.entries {
             let state = match (e.deferred, e.state) {
@@ -755,6 +969,17 @@ impl RtKernel {
                 state,
                 e.executed.as_ms(),
                 e.deadline.as_ms(),
+            );
+        }
+        for shed in &self.shed {
+            let _ = writeln!(
+                s,
+                "  {}: P={:.3}ms C={:.3}ms state=shed observed={:.3}ms retry@{:.3}ms",
+                shed.handle,
+                shed.period.as_ms(),
+                shed.wcet.as_ms(),
+                shed.observed_peak.as_ms(),
+                shed.next_attempt.as_ms(),
             );
         }
         s

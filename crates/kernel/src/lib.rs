@@ -388,6 +388,136 @@ mod tests {
         );
     }
 
+    /// A task that understated its bound is shed once, re-admitted with
+    /// the bound renegotiated to its observed peak, and then runs clean.
+    #[test]
+    fn degraded_mode_sheds_and_readmits_with_renegotiated_bound() {
+        use rtdvs_core::task::Task;
+        let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf).with_degraded_mode();
+        let _good = kernel
+            .spawn(Time::from_ms(10.0), Work::from_ms(2.0), Box::new(WcetBody))
+            .unwrap();
+        // Declares 1 ms but always uses 2 ms.
+        let bad = kernel
+            .spawn(
+                Time::from_ms(20.0),
+                Work::from_ms(1.0),
+                Box::new(|_: u64, _: &Task| Work::from_ms(2.0)),
+            )
+            .unwrap();
+        kernel.run_for(Time::from_ms(200.0));
+        let shed: Vec<_> = kernel
+            .log()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                KernelEvent::Shed { handle, observed } => Some((*handle, *observed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed, vec![(bad, Work::from_ms(2.0))]);
+        let readmitted: Vec<_> = kernel
+            .log()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                KernelEvent::Readmitted { handle, bound } => Some((*handle, *bound)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(readmitted, vec![(bad, Work::from_ms(2.0))]);
+        let transitions: Vec<bool> = kernel
+            .log()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                KernelEvent::Degraded { active } => Some(*active),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(transitions, vec![true, false]);
+        assert!(!kernel.degraded(), "back to full service");
+        // Exactly one overrun: after renegotiation the 2 ms demand is
+        // within the new bound.
+        assert_eq!(kernel.overruns(), 1);
+        assert_eq!(kernel.misses().count(), 0);
+        assert!(kernel.status().contains("degraded=no"));
+    }
+
+    /// A hopeless task (demand that can never pass admission) is shed at
+    /// its first miss and STAYS shed, so the rest of the set keeps its
+    /// guarantees; without degraded mode it would miss every invocation.
+    #[test]
+    fn degraded_mode_contains_a_hopeless_task() {
+        use rtdvs_core::task::Task;
+        let spawn_set = |kernel: &mut RtKernel| -> TaskHandle {
+            kernel
+                .spawn(Time::from_ms(10.0), Work::from_ms(5.0), Box::new(WcetBody))
+                .unwrap();
+            kernel
+                .spawn(
+                    Time::from_ms(20.0),
+                    Work::from_ms(2.0),
+                    Box::new(|_: u64, _: &Task| Work::from_ms(12.0)),
+                )
+                .unwrap()
+        };
+        let mut kernel =
+            RtKernel::new(Machine::machine0(), PolicyKind::PlainEdf).with_degraded_mode();
+        let bad = spawn_set(&mut kernel);
+        kernel.run_for(Time::from_ms(400.0));
+        // Shed at its first miss, never re-admitted (12/20 on top of 5/10
+        // fails every admission retry).
+        assert_eq!(kernel.misses().count(), 1);
+        assert!(kernel.degraded());
+        assert_eq!(kernel.shed_tasks(), vec![(bad, Work::from_ms(12.0))]);
+        assert!(kernel.status().contains("degraded=yes"));
+        assert!(kernel.status().contains("state=shed"));
+        // Contrast: the stock kernel lets it miss every period.
+        let mut stock = RtKernel::new(Machine::machine0(), PolicyKind::PlainEdf);
+        spawn_set(&mut stock);
+        stock.run_for(Time::from_ms(400.0));
+        assert!(stock.misses().count() > 10);
+    }
+
+    /// With well-behaved tasks, degraded mode never engages and changes
+    /// nothing.
+    #[test]
+    fn degraded_mode_is_inert_without_faults() {
+        let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::LaEdf).with_degraded_mode();
+        spawn_paper_set(&mut kernel);
+        kernel.run_for(Time::from_ms(1000.0));
+        assert_eq!(kernel.misses().count(), 0);
+        assert!(!kernel.degraded());
+        assert!(!kernel.log().iter().any(|(_, e)| matches!(
+            e,
+            KernelEvent::Shed { .. }
+                | KernelEvent::Degraded { .. }
+                | KernelEvent::Readmitted { .. }
+        )));
+    }
+
+    /// An aperiodic burst bigger than the server can ever catch up with
+    /// degrades gracefully: jobs are served late, nothing panics, and the
+    /// hard periodic task keeps all its deadlines.
+    #[test]
+    fn aperiodic_burst_degrades_gracefully() {
+        let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf).with_degraded_mode();
+        kernel
+            .spawn(Time::from_ms(10.0), Work::from_ms(5.0), Box::new(WcetBody))
+            .unwrap();
+        let (_h, server) = kernel
+            .spawn_polling_server(Time::from_ms(20.0), Work::from_ms(4.0))
+            .unwrap();
+        // 60 ms of aperiodic work at once — 15 server periods worth.
+        for _ in 0..20 {
+            server.submit(Work::from_ms(3.0), kernel.now());
+        }
+        kernel.run_until(Time::from_ms(400.0));
+        // The server never exceeds its budget, so it is never shed.
+        assert!(!kernel.degraded());
+        assert_eq!(kernel.misses().count(), 0);
+        assert_eq!(server.take_completed().len(), 20);
+        assert_eq!(server.pending(), 0);
+    }
+
     #[test]
     fn kernel_and_simulator_agree_on_energy() {
         // Same workload through both engines: Table 2 at c = 1.0 (WCET)

@@ -19,6 +19,8 @@
 //! energy                                      -> "<joule-units>"
 //! misses                                      -> "<count>"
 //! frequency                                   -> "<normalized freq>"
+//! overruns                                    -> "<count>"
+//! degraded                                    -> "yes" | "no"
 //! ```
 //!
 //! `<fraction>` gives the registered task's actual per-invocation demand
@@ -136,6 +138,8 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
         ("energy", []) => Ok(format!("{:.6}", kernel.energy())),
         ("misses", []) => Ok(format!("{}", kernel.misses().count())),
         ("frequency", []) => Ok(format!("{:.3}", kernel.current_frequency())),
+        ("overruns", []) => Ok(format!("{}", kernel.overruns())),
+        ("degraded", []) => Ok(if kernel.degraded() { "yes" } else { "no" }.to_owned()),
         _ => Err(format!("unknown command {line:?}")),
     }
 }
@@ -212,6 +216,22 @@ mod tests {
         assert_eq!(replies[0], "ok rt1");
         assert_eq!(replies[2], "ok ccEDF");
         assert_eq!(replies[4], "0");
+    }
+
+    #[test]
+    fn overruns_and_degraded_read_back() {
+        use crate::body::ColdStartBody;
+        let mut k = RtKernel::new(Machine::machine0(), PolicyKind::PlainEdf).with_degraded_mode();
+        assert_eq!(execute(&mut k, "overruns"), "0");
+        assert_eq!(execute(&mut k, "degraded"), "no");
+        k.spawn(
+            Time::from_ms(20.0),
+            Work::from_ms(4.0),
+            Box::new(ColdStartBody::new(FractionBody(0.9), 0.5)),
+        )
+        .unwrap();
+        execute(&mut k, "run 100");
+        assert_eq!(execute(&mut k, "overruns"), "1");
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl CompletedJob {
     }
 }
 
+/// Locks the shared queue, recovering from a poisoned mutex.
+///
+/// The queue's invariants hold between every push/pop, so data left behind
+/// by a submitter that panicked while holding the lock is still consistent
+/// — and a real-time server must keep serving jobs even after one worker
+/// thread dies. `Mutex` poisoning is advisory; shrugging it off here is
+/// the robustness choice, not a shortcut.
+fn lock_recovering(shared: &Mutex<Shared>) -> std::sync::MutexGuard<'_, Shared> {
+    shared
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[derive(Debug)]
 struct PendingJob {
     id: JobId,
@@ -103,7 +116,7 @@ impl AperiodicServer {
     /// Panics if `work` is not strictly positive.
     pub fn submit(&self, work: Work, now: Time) -> JobId {
         assert!(work.is_positive(), "aperiodic job needs positive work");
-        let mut s = self.shared.lock().expect("server lock");
+        let mut s = lock_recovering(&self.shared);
         let id = JobId(s.next_id);
         s.next_id += 1;
         s.queue.push_back(PendingJob {
@@ -118,27 +131,27 @@ impl AperiodicServer {
     /// Jobs waiting (fully or partially) to be served.
     #[must_use]
     pub fn pending(&self) -> usize {
-        let s = self.shared.lock().expect("server lock");
+        let s = lock_recovering(&self.shared);
         s.queue.len() + s.finishing.len()
     }
 
     /// Drains and returns all completed jobs.
     #[must_use]
     pub fn take_completed(&self) -> Vec<CompletedJob> {
-        std::mem::take(&mut self.shared.lock().expect("server lock").completed)
+        std::mem::take(&mut lock_recovering(&self.shared).completed)
     }
 
     /// Total aperiodic work served so far.
     #[must_use]
     pub fn total_served(&self) -> Work {
-        self.shared.lock().expect("server lock").served
+        lock_recovering(&self.shared).served
     }
 
     /// Releases at which the queue was empty and the budget was forfeited
     /// (the defining behavior of a *polling* server).
     #[must_use]
     pub fn forfeited_releases(&self) -> u64 {
-        self.shared.lock().expect("server lock").forfeited_releases
+        lock_recovering(&self.shared).forfeited_releases
     }
 }
 
@@ -148,7 +161,7 @@ struct ServerBody {
 
 impl TaskBody for ServerBody {
     fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
-        let mut s = self.shared.lock().expect("server lock");
+        let mut s = lock_recovering(&self.shared);
         let budget = spec.wcet();
         let mut used = Work::ZERO;
         if s.queue.is_empty() {
@@ -166,7 +179,9 @@ impl TaskBody for ServerBody {
             if front.remaining.is_positive() {
                 break;
             }
-            let job = s.queue.pop_front().expect("front exists");
+            let Some(job) = s.queue.pop_front() else {
+                break;
+            };
             s.finishing.push(job);
         }
         s.served += used;
@@ -174,7 +189,7 @@ impl TaskBody for ServerBody {
     }
 
     fn on_invocation_complete(&mut self, _invocation: u64, now: Time) {
-        let mut s = self.shared.lock().expect("server lock");
+        let mut s = lock_recovering(&self.shared);
         let done: Vec<CompletedJob> = s
             .finishing
             .drain(..)
@@ -271,5 +286,35 @@ mod tests {
     fn rejects_empty_jobs() {
         let server = AperiodicServer::new();
         let _ = server.submit(Work::ZERO, t(0.0));
+    }
+
+    /// One panicked worker poisons the mutex; the server must shrug it off
+    /// and keep serving — a wedged polling server would break the periodic
+    /// guarantees of everything behind it.
+    #[test]
+    fn survives_a_poisoned_mutex() {
+        let server = AperiodicServer::new();
+        let id = server.submit(w(1.0), t(0.0));
+        // Poison the lock: a thread panics while holding it.
+        let clone = server.clone();
+        let worker = std::thread::spawn(move || {
+            let _guard = clone.shared.lock().unwrap();
+            panic!("worker dies holding the server lock");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+        assert!(
+            server.shared.is_poisoned(),
+            "lock must actually be poisoned"
+        );
+        // Every entry point still works on the recovered state.
+        assert_eq!(server.pending(), 1);
+        let id2 = server.submit(w(0.5), t(1.0));
+        assert!(id2 > id);
+        let mut body = server.body();
+        assert_eq!(body.run(1, &spec()).as_ms(), 1.5);
+        body.on_invocation_complete(1, t(3.0));
+        assert_eq!(server.take_completed().len(), 2);
+        assert_eq!(server.forfeited_releases(), 0);
+        assert!(server.total_served().approx_eq(w(1.5)));
     }
 }

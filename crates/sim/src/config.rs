@@ -3,6 +3,7 @@
 use rtdvs_core::time::Time;
 
 use crate::exec_model::ExecModel;
+use crate::fault::FaultPlan;
 
 /// Time penalties for changing the operating point, modeled after the
 /// AMD K6-2+ prototype (§4.1): the processor halts for a mandatory stop
@@ -92,6 +93,9 @@ pub struct SimConfig {
     /// Whether to record a full execution trace (costs memory; needed for
     /// the worked-example figures and the Gantt renderer).
     pub record_trace: bool,
+    /// Fault-injection plan ([`FaultPlan::none`] by default — provably
+    /// zero-cost when empty, see `crates/sim/src/fault.rs`).
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -108,6 +112,7 @@ impl SimConfig {
             switch_overhead: None,
             miss_policy: MissPolicy::default(),
             record_trace: false,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -152,6 +157,13 @@ impl SimConfig {
         self.switch_overhead = Some(overhead);
         self
     }
+
+    /// Sets the fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, fault: FaultPlan) -> SimConfig {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +194,14 @@ mod tests {
         assert!(!cfg.record_trace);
         assert!(matches!(cfg.exec, ExecModel::Wcet));
         assert_eq!(cfg.miss_policy, MissPolicy::DropRemaining);
+        assert!(!cfg.fault.is_active());
+    }
+
+    #[test]
+    fn with_faults_installs_the_plan() {
+        let cfg = SimConfig::new(Time::from_ms(16.0))
+            .with_faults(FaultPlan::new(9).with_overruns(0.1, 1.5));
+        assert!(cfg.fault.is_active());
+        assert_eq!(cfg.fault.seed, 9);
     }
 }

@@ -21,6 +21,7 @@ use rtdvs_taskgen::SplitMix64;
 
 use crate::config::{MissPolicy, SimConfig};
 use crate::energy::EnergyMeter;
+use crate::fault::{fires, ContainmentStats, FaultEvent, FaultStreams};
 use crate::report::{DeadlineMiss, SimReport, TaskStats};
 use crate::trace::{Activity, Trace, TraceEvent};
 
@@ -87,6 +88,14 @@ struct Engine<'a> {
     events: u64,
     misses: Vec<DeadlineMiss>,
     stats: Vec<TaskStats>,
+    /// Fault-injection streams; `None` unless the plan is active, so an
+    /// empty plan adds no draws and no branches to the hot path.
+    faults: Option<FaultStreams>,
+    fault_log: Vec<FaultEvent>,
+    /// Per-task quarantine flags for overrun containment.
+    quarantined: Vec<bool>,
+    containment: ContainmentStats,
+    clamp_events: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -129,6 +138,11 @@ impl<'a> Engine<'a> {
             events: 0,
             misses: Vec::new(),
             stats: vec![TaskStats::default(); tasks.len()],
+            faults: cfg.fault.is_active().then(|| FaultStreams::new(cfg.fault)),
+            fault_log: Vec::new(),
+            quarantined: vec![false; tasks.len()],
+            containment: ContainmentStats::default(),
+            clamp_events: 0,
         }
     }
 
@@ -180,10 +194,10 @@ impl<'a> Engine<'a> {
     }
 
     /// The gap from one release to the next under the configured arrival
-    /// model.
+    /// model, plus injected release jitter when a fault plan asks for it.
     fn inter_arrival(&mut self, i: usize) -> Time {
         let period = self.tasks.task(TaskId(i)).period();
-        match self.cfg.arrival {
+        let base = match self.cfg.arrival {
             crate::config::ArrivalModel::Periodic => period,
             crate::config::ArrivalModel::Sporadic { max_extra_fraction } => {
                 debug_assert!(max_extra_fraction >= 0.0);
@@ -192,7 +206,24 @@ impl<'a> Engine<'a> {
                     .range_f64_inclusive(0.0, max_extra_fraction.max(0.0));
                 period + period * extra
             }
+        };
+        if let Some(f) = &mut self.faults {
+            if let Some(rj) = f.plan.release_jitter {
+                if fires(&mut f.release, rj.rate) {
+                    // Jitter only delays releases: the period stays the
+                    // minimum inter-arrival time, so every deadline remains
+                    // release + period and the engine invariants hold.
+                    let delay = period * f.release.range_f64_inclusive(0.0, rj.max_fraction);
+                    self.fault_log.push(FaultEvent::ReleaseJitter {
+                        time: self.now,
+                        task: TaskId(i),
+                        delay,
+                    });
+                    return base + delay;
+                }
+            }
         }
+        base
     }
 
     /// Handles an invocation still outstanding at its deadline.
@@ -243,12 +274,35 @@ impl<'a> Engine<'a> {
         rt.executed = Work::ZERO;
         rt.deadline = rt.next_release + period;
         rt.next_release += gap;
-        rt.actual = self.cfg.exec.sample(
+        let (mut actual, clamped) = self.cfg.exec.sample_checked(
             TaskId(i),
             self.tasks.task(TaskId(i)),
             rt.invocation,
             &mut self.rng,
         );
+        if clamped {
+            self.clamp_events += 1;
+        }
+        if let Some(f) = &mut self.faults {
+            if let Some(o) = f.plan.overrun {
+                if fires(&mut f.overrun, o.rate) {
+                    // Demand above the condition-C2 clamp: the declared
+                    // bound lied, which is exactly what containment exists
+                    // to absorb.
+                    let bound = self.tasks.task(TaskId(i)).wcet();
+                    let injected = bound * o.factor;
+                    self.fault_log.push(FaultEvent::Overrun {
+                        time: self.now,
+                        task: TaskId(i),
+                        invocation: rt.invocation,
+                        injected,
+                        bound,
+                    });
+                    actual = injected;
+                }
+            }
+        }
+        rt.actual = actual;
         self.stats[i].releases += 1;
         if let Some(tr) = &mut self.trace {
             let rt = &self.rt[i];
@@ -313,12 +367,29 @@ impl<'a> Engine<'a> {
     }
 
     /// Applies `desired` to the hardware, accounting a switch (and a stall,
-    /// if configured) when it differs from the current point.
+    /// if configured) when it differs from the current point. Under fault
+    /// injection the attempt may fail (the machine holds its old point) or
+    /// stall longer than its model says.
     fn apply_point(&mut self, desired: PointIdx) {
         if self.applied == Some(desired) {
             return;
         }
         if let Some(prev) = self.applied {
+            if let Some(f) = &mut self.faults {
+                if let Some(st) = f.plan.stuck_transition {
+                    if fires(&mut f.stuck, st.rate) {
+                        // The set_speed silently failed; the policy believes
+                        // it switched, the hardware disagrees. The next
+                        // event interval retries.
+                        self.fault_log.push(FaultEvent::StuckTransition {
+                            time: self.now,
+                            held: prev,
+                            desired,
+                        });
+                        return;
+                    }
+                }
+            }
             self.switches += 1;
             let dv = (self.machine.point(prev).volts - self.machine.point(desired).volts).abs();
             let voltage_changed = dv > EPS;
@@ -333,8 +404,52 @@ impl<'a> Engine<'a> {
                 };
                 self.stall_until = self.now + stall;
             }
+            if let Some(f) = &mut self.faults {
+                if let Some(j) = f.plan.transition_jitter {
+                    if fires(&mut f.jitter, j.rate) {
+                        let extra =
+                            Time::from_ms(f.jitter.range_f64_inclusive(0.0, j.max_extra.as_ms()));
+                        self.fault_log.push(FaultEvent::TransitionJitter {
+                            time: self.now,
+                            extra,
+                        });
+                        self.stall_until = self.stall_until.max(self.now) + extra;
+                    }
+                }
+            }
         }
         self.applied = Some(desired);
+    }
+
+    /// Overrun containment: quarantines any active invocation that has
+    /// exhausted its declared WCET budget and still has work left, and
+    /// lazily releases the quarantine once the invocation leaves the
+    /// active state. No-op unless the fault plan arms containment.
+    fn update_quarantine(&mut self) {
+        let containment = self.faults.as_ref().is_some_and(|f| f.plan.containment);
+        if !containment {
+            return;
+        }
+        for i in 0..self.rt.len() {
+            if self.rt[i].state != InvState::Active {
+                self.quarantined[i] = false;
+                continue;
+            }
+            if self.quarantined[i] {
+                continue;
+            }
+            let wcet = self.tasks.task(TaskId(i)).wcet();
+            if self.rt[i].executed.as_ms() >= wcet.as_ms() - EPS && self.remaining(i).is_positive()
+            {
+                self.quarantined[i] = true;
+                self.containment.activations += 1;
+                self.fault_log.push(FaultEvent::Containment {
+                    time: self.now,
+                    task: TaskId(i),
+                    invocation: self.rt[i].invocation,
+                });
+            }
+        }
     }
 
     /// Sanitizer-style internal-consistency checks, compiled in under the
@@ -403,16 +518,33 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            // Decide occupancy and the operating point for the interval.
-            let ready = self.ready();
+            // Overrun containment: detect budget exhaustion, then decide
+            // occupancy and the operating point for the interval. While any
+            // invocation is quarantined the offender is demoted behind the
+            // innocent tasks and the processor escalates to f_max, so the
+            // overrun steals as little feasible time as possible.
+            self.update_quarantine();
+            let mut ready = self.ready();
+            let containing = self.quarantined.iter().any(|&q| q);
+            if containing && ready.iter().any(|(id, _)| !self.quarantined[id.0]) {
+                ready.retain(|(id, _)| !self.quarantined[id.0]);
+            }
             let running = self.policy.scheduler().pick_next(self.tasks, &ready);
             let desired = if running.is_some() {
-                self.policy.current_point()
+                if containing {
+                    self.machine.highest()
+                } else {
+                    self.policy.current_point()
+                }
             } else {
                 self.policy.idle_point(self.machine)
             };
             self.apply_point(desired);
-            let op = self.machine.point(desired);
+            // Under stuck-transition faults the hardware can disagree with
+            // the policy's request; the interval runs (and is charged) at
+            // the point actually applied.
+            let point = self.applied.unwrap_or(desired);
+            let op = self.machine.point(point);
 
             // Earliest next event: a release, an active deadline (distinct
             // from the release only under sporadic arrivals), the running
@@ -428,6 +560,16 @@ impl<'a> Engine<'a> {
                 let exec_start = self.now.max(self.stall_until);
                 let t_done = exec_start + self.remaining(id.0).duration_at(op.freq);
                 t_next = t_next.min(t_done);
+                // With containment armed, budget exhaustion is an event of
+                // its own: stop exactly when the invocation reaches its
+                // declared WCET so the quarantine begins on time.
+                if self.faults.as_ref().is_some_and(|f| f.plan.containment)
+                    && !self.quarantined[id.0]
+                {
+                    let budget =
+                        (self.tasks.task(id).wcet() - self.rt[id.0].executed).clamp_non_negative();
+                    t_next = t_next.min(exec_start + budget.duration_at(op.freq));
+                }
             }
             if let Some(review) = self.policy.review_at() {
                 if review.definitely_before(t_next) && self.now.definitely_before(review) {
@@ -443,26 +585,30 @@ impl<'a> Engine<'a> {
                 let d = stall_end - self.now;
                 self.meter.charge_stall(d);
                 if let Some(tr) = &mut self.trace {
-                    tr.push(self.now, stall_end, desired, Activity::Stall);
+                    tr.push(self.now, stall_end, point, Activity::Stall);
                 }
             }
             if t_next > stall_end {
                 let d = t_next - stall_end;
                 match running {
                     Some(id) => {
-                        self.meter.charge_busy(self.machine, desired, d);
+                        self.meter.charge_busy(self.machine, point, d);
                         let work = d.work_at(op.freq);
                         self.rt[id.0].executed += work;
                         self.stats[id.0].work += work;
                         self.stats[id.0].energy += work.as_ms() * op.energy_per_work();
+                        if containing {
+                            self.containment.time += d;
+                            self.containment.energy += work.as_ms() * op.energy_per_work();
+                        }
                         if let Some(tr) = &mut self.trace {
-                            tr.push(stall_end, t_next, desired, Activity::Run(id));
+                            tr.push(stall_end, t_next, point, Activity::Run(id));
                         }
                     }
                     None => {
-                        self.meter.charge_idle(self.machine, desired, d);
+                        self.meter.charge_idle(self.machine, point, d);
                         if let Some(tr) = &mut self.trace {
-                            tr.push(stall_end, t_next, desired, Activity::Idle);
+                            tr.push(stall_end, t_next, point, Activity::Idle);
                         }
                     }
                 }
@@ -489,6 +635,9 @@ impl<'a> Engine<'a> {
             misses: self.misses,
             task_stats: self.stats,
             trace: self.trace,
+            clamp_events: self.clamp_events,
+            faults: self.fault_log,
+            containment: self.containment,
         }
     }
 }
@@ -821,6 +970,186 @@ mod tests {
         let b = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
         assert_eq!(a.energy(), b.energy());
         assert_eq!(a.switches, b.switches);
+    }
+
+    /// Injected overruns push demand above the C2 clamp, are logged as
+    /// fault events, and trigger containment (escalation to f_max with
+    /// quarantine accounting).
+    #[test]
+    fn injected_overruns_trigger_containment() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(500.0))
+            .with_exec(ExecModel::ConstantFraction(0.9))
+            .with_seed(4)
+            .with_faults(FaultPlan::new(21).with_overruns(0.3, 1.5));
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &cfg);
+        let overruns = r
+            .faults
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::Overrun { .. }))
+            .count();
+        assert!(overruns > 0, "a 30% rate over 500 ms must fire");
+        for f in &r.faults {
+            if let FaultEvent::Overrun {
+                injected, bound, ..
+            } = f
+            {
+                assert!(injected.as_ms() > bound.as_ms());
+            }
+        }
+        assert!(r.containment.activations > 0, "overruns must be contained");
+        assert!(r.containment.time.as_ms() > 0.0);
+        assert!(r.containment.energy > 0.0);
+        // Fault events are appended in simulated-time order.
+        for w in r.faults.windows(2) {
+            assert!(w[0].time().at_or_before(w[1].time()));
+        }
+    }
+
+    /// During containment the processor runs at f_max: every traced busy
+    /// segment of a quarantined interval is at the highest point.
+    #[test]
+    fn containment_escalates_to_f_max() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(200.0))
+            .with_exec(ExecModel::ConstantFraction(0.9))
+            .with_seed(4)
+            .with_trace()
+            .with_faults(FaultPlan::new(21).with_overruns(1.0, 1.4));
+        let r = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        let tr = r.trace.as_ref().unwrap();
+        // Immediately after each containment event the processor must be
+        // busy at the machine's top frequency.
+        let mut checked = 0;
+        for f in &r.faults {
+            if let FaultEvent::Containment { time, .. } = f {
+                let probe = *time + Time::from_ms(1e-3);
+                if let Some(freq) = tr.point_at(probe, &m) {
+                    assert_eq!(freq, 1.0, "containment at t={time} not at f_max");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no containment interval was probed");
+    }
+
+    /// Stuck transitions hold the old point: with a rate of 1.0 the
+    /// machine never leaves its initial setting, and each refused attempt
+    /// is logged.
+    #[test]
+    fn stuck_transitions_hold_the_old_point() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let base = SimConfig::new(Time::from_ms(500.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(9);
+        let clean = simulate(&tasks, &m, PolicyKind::CcEdf, &base);
+        assert!(clean.switches > 0, "ccEDF must switch on this workload");
+        let cfg = base
+            .clone()
+            .with_faults(FaultPlan::new(5).with_stuck_transitions(1.0));
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &cfg);
+        assert_eq!(r.switches, 0, "every transition attempt must fail");
+        assert!(r
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::StuckTransition { .. })));
+    }
+
+    /// Transition jitter stalls the processor even when the configured
+    /// switch overhead is zero.
+    #[test]
+    fn transition_jitter_adds_stall_time() {
+        use crate::fault::FaultPlan;
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(500.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(9)
+            .with_faults(FaultPlan::new(5).with_transition_jitter(1.0, Time::from_ms(0.05)));
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &cfg);
+        assert!(
+            r.meter.stall_time().as_ms() > 0.0,
+            "jitter on every switch must stall"
+        );
+    }
+
+    /// Release jitter only delays releases, so the release count drops and
+    /// (demand shrinking) deadlines keep holding.
+    #[test]
+    fn release_jitter_delays_releases() {
+        use crate::fault::FaultPlan;
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let base = SimConfig::new(Time::from_secs(1.0))
+            .with_exec(ExecModel::ConstantFraction(0.8))
+            .with_seed(6);
+        let clean = simulate(&tasks, &m, PolicyKind::CcEdf, &base);
+        let cfg = base
+            .clone()
+            .with_faults(FaultPlan::new(8).with_release_jitter(1.0, 0.5));
+        let r = simulate(&tasks, &m, PolicyKind::CcEdf, &cfg);
+        assert!(
+            r.all_deadlines_met(),
+            "delaying releases cannot cause misses"
+        );
+        let clean_rel: u64 = clean.task_stats.iter().map(|t| t.releases).sum();
+        let fault_rel: u64 = r.task_stats.iter().map(|t| t.releases).sum();
+        assert!(fault_rel < clean_rel);
+    }
+
+    /// The fault layer is itself deterministic: the same plan gives the
+    /// same fault log, energies, and misses.
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use crate::fault::FaultPlan;
+        let tasks = table2_task_set();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_secs(1.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(13)
+            .with_faults(
+                FaultPlan::new(17)
+                    .with_overruns(0.2, 1.5)
+                    .with_stuck_transitions(0.1)
+                    .with_transition_jitter(0.1, Time::from_ms(0.05))
+                    .with_release_jitter(0.1, 0.25),
+            );
+        let a = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        let b = simulate(&tasks, &m, PolicyKind::LaEdf, &cfg);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.energy(), b.energy());
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.containment, b.containment);
+    }
+
+    /// The engine counts condition-C2 clamps instead of silently eating
+    /// them: a trace entry above the WCET shows up in the report.
+    #[test]
+    fn c2_clamps_are_counted() {
+        let tasks = TaskSet::from_ms_pairs(&[(10.0, 4.0)]).unwrap();
+        let m = Machine::machine0();
+        let cfg = SimConfig::new(Time::from_ms(40.0)).with_exec(ExecModel::Trace(vec![vec![
+            Work::from_ms(9.0), // clamped
+            Work::from_ms(2.0),
+            Work::from_ms(7.0), // clamped
+            Work::from_ms(1.0),
+        ]]));
+        let r = simulate(&tasks, &m, PolicyKind::PlainEdf, &cfg);
+        assert_eq!(r.clamp_events, 2);
+        // Clean models report zero.
+        let clean = simulate(
+            &tasks,
+            &m,
+            PolicyKind::PlainEdf,
+            &SimConfig::new(Time::from_ms(40.0)),
+        );
+        assert_eq!(clean.clamp_events, 0);
     }
 
     /// Long-horizon sanity: all six policies meet every deadline on the

@@ -8,7 +8,7 @@
 //! trace (used for the Table 3 examples).
 
 use rtdvs_core::task::{Task, TaskId};
-use rtdvs_core::time::Work;
+use rtdvs_core::time::{Work, EPS};
 use rtdvs_taskgen::SplitMix64;
 
 /// Per-invocation actual computation model.
@@ -51,6 +51,20 @@ impl ExecModel {
     /// Panics (in debug builds) if a fraction parameter is outside
     /// `[0, 1]`; clamping keeps release builds safe.
     pub fn sample(&self, task: TaskId, spec: &Task, invocation: u64, rng: &mut SplitMix64) -> Work {
+        self.sample_checked(task, spec, invocation, rng).0
+    }
+
+    /// Like [`ExecModel::sample`], but also reports whether the raw draw
+    /// violated condition C2 (exceeded the WCET) and had to be clamped.
+    /// The engine counts these so C2 violations in input traces are
+    /// observable (`SimReport::clamp_events`) instead of silently eaten.
+    pub fn sample_checked(
+        &self,
+        task: TaskId,
+        spec: &Task,
+        invocation: u64,
+        rng: &mut SplitMix64,
+    ) -> (Work, bool) {
         let wcet = spec.wcet();
         let raw = match self {
             ExecModel::Wcet => wcet,
@@ -73,7 +87,8 @@ impl ExecModel {
                 per_task[idx]
             }
         };
-        raw.max(Work::ZERO).min(wcet)
+        let clamped = raw.as_ms() > wcet.as_ms() + EPS;
+        (raw.max(Work::ZERO).min(wcet), clamped)
     }
 
     /// The long-run mean fraction of the worst case this model consumes
@@ -168,6 +183,25 @@ mod tests {
         let m = ExecModel::Trace(vec![vec![Work::from_ms(99.0)]]);
         let w = m.sample(TaskId(0), &task(), 1, &mut rng());
         assert_eq!(w.as_ms(), 4.0);
+    }
+
+    #[test]
+    fn sample_checked_reports_clamps() {
+        let m = ExecModel::Trace(vec![vec![Work::from_ms(99.0), Work::from_ms(1.0)]]);
+        let t = task();
+        let mut r = rng();
+        let (w, clamped) = m.sample_checked(TaskId(0), &t, 1, &mut r);
+        assert_eq!(w.as_ms(), 4.0);
+        assert!(
+            clamped,
+            "a 99 ms entry against a 4 ms WCET is a C2 violation"
+        );
+        let (w, clamped) = m.sample_checked(TaskId(0), &t, 2, &mut r);
+        assert_eq!(w.as_ms(), 1.0);
+        assert!(!clamped);
+        // In-range models never clamp.
+        let (_, clamped) = ExecModel::uniform().sample_checked(TaskId(0), &t, 1, &mut r);
+        assert!(!clamped);
     }
 
     #[test]

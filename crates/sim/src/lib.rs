@@ -33,6 +33,7 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 pub mod exec_model;
+pub mod fault;
 pub mod reference;
 pub mod report;
 pub mod trace;
@@ -42,6 +43,7 @@ pub use config::{ArrivalModel, MissPolicy, SimConfig, SwitchOverhead};
 pub use energy::EnergyMeter;
 pub use engine::{simulate, simulate_with};
 pub use exec_model::ExecModel;
+pub use fault::{ContainmentStats, FaultEvent, FaultPlan};
 pub use reference::{simulate_reference, RefReport};
 pub use report::{DeadlineMiss, SimReport, TaskStats};
 pub use trace::{Activity, Segment, Trace};

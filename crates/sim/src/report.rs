@@ -5,6 +5,7 @@ use rtdvs_core::task::TaskId;
 use rtdvs_core::time::{Time, Work};
 
 use crate::energy::EnergyMeter;
+use crate::fault::{ContainmentStats, FaultEvent};
 use crate::trace::Trace;
 
 /// One missed deadline.
@@ -85,6 +86,15 @@ pub struct SimReport {
     pub task_stats: Vec<TaskStats>,
     /// Execution trace, when recording was enabled.
     pub trace: Option<Trace>,
+    /// How many execution samples violated condition C2 (exceeded the
+    /// WCET) and were clamped to it. Nonzero only for trace models whose
+    /// entries overshoot the declared bound.
+    pub clamp_events: u64,
+    /// Every injected fault and containment action, in time order. Empty
+    /// unless the run had an active [`crate::FaultPlan`].
+    pub faults: Vec<FaultEvent>,
+    /// Overrun-containment accounting (all zero without faults).
+    pub containment: ContainmentStats,
 }
 
 impl SimReport {
@@ -159,6 +169,9 @@ mod tests {
             misses: vec![],
             task_stats: vec![],
             trace: None,
+            clamp_events: 0,
+            faults: vec![],
+            containment: ContainmentStats::default(),
         }
     }
 

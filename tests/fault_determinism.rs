@@ -1,0 +1,128 @@
+//! Tier-1 guarantee for the fault-injection layer: an inactive plan is
+//! *provably* free.
+//!
+//! The chaos harness is only trustworthy if merely linking the fault
+//! layer cannot perturb a clean run: every golden artifact, every audit
+//! verdict, and every paper figure is produced with
+//! [`rtdvs::sim::FaultPlan::none`], so an inactive plan must be
+//! byte-identical to the pre-fault engine — same energy bits, same event
+//! counts, same RNG stream consumption. These tests pin that equivalence
+//! across all three ways an inactive plan can arise (the default config,
+//! an explicit `none()`, and a seeded plan whose builders were all given
+//! rate zero), for every paper policy over seeded-random workloads.
+
+use rtdvs::sim::{FaultPlan, SimReport};
+use rtdvs::taskgen::{generate, SplitMix64, TaskGenSpec};
+use rtdvs::{simulate, ExecModel, Machine, PolicyKind, SimConfig, Time};
+
+const CASES: u64 = 12;
+
+/// Everything observable about a run, with floats captured bit-exactly.
+fn fingerprint(r: &SimReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{} e={:016x} sw={} vsw={} ev={} clamp={}",
+        r.policy,
+        r.energy().to_bits(),
+        r.switches,
+        r.voltage_switches,
+        r.events,
+        r.clamp_events
+    );
+    for m in &r.misses {
+        let _ = write!(
+            s,
+            " miss[T{} inv{} dl={:016x} rem={:016x}]",
+            m.task.0,
+            m.invocation,
+            m.deadline.as_ms().to_bits(),
+            m.remaining.as_ms().to_bits()
+        );
+    }
+    for t in &r.task_stats {
+        let _ = write!(
+            s,
+            " task[r{} c{} w={:016x} e={:016x}]",
+            t.releases,
+            t.completions,
+            t.work.as_ms().to_bits(),
+            t.energy.to_bits()
+        );
+    }
+    s
+}
+
+/// A seeded plan whose every builder was given rate zero: it must
+/// install nothing and behave exactly like `none()`.
+fn zero_rate_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_overruns(0.0, 1.5)
+        .with_stuck_transitions(0.0)
+        .with_transition_jitter(0.0, Time::from_ms(0.1))
+        .with_release_jitter(0.0, 0.25)
+}
+
+#[test]
+fn inactive_plans_are_byte_identical_for_every_policy() {
+    let mut rng = SplitMix64::seed_from_u64(0xFA017);
+    for case in 0..CASES {
+        let n = 2 + rng.index(8);
+        let util = rng.range_f64_inclusive(0.2, 0.95);
+        let spec = TaskGenSpec::new(n, util).expect("valid spec");
+        let tasks = generate(&spec, rng.next_u64()).expect("generator succeeds");
+        let machine = Machine::machine0();
+        let sim_seed = rng.next_u64();
+        let base_cfg = SimConfig::new(Time::from_ms(400.0))
+            .with_exec(ExecModel::uniform())
+            .with_seed(sim_seed);
+
+        for kind in PolicyKind::paper_six() {
+            let default_cfg = base_cfg.clone();
+            let explicit_none = base_cfg.clone().with_faults(FaultPlan::none());
+            let zero_rates = base_cfg.clone().with_faults(zero_rate_plan(rng.next_u64()));
+
+            let want = fingerprint(&simulate(&tasks, &machine, kind, &default_cfg));
+            for (label, cfg) in [("none()", &explicit_none), ("zero rates", &zero_rates)] {
+                let report = simulate(&tasks, &machine, kind, cfg);
+                assert_eq!(
+                    fingerprint(&report),
+                    want,
+                    "case {case}: {} with an inactive plan ({label}) diverged",
+                    kind.name()
+                );
+                assert!(report.faults.is_empty(), "inactive plan injected something");
+                assert_eq!(report.containment.activations, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_rate_builders_leave_the_plan_inactive() {
+    assert!(!FaultPlan::none().is_active());
+    assert!(!zero_rate_plan(0xDEAD).is_active());
+    assert!(FaultPlan::new(1).with_overruns(0.1, 1.5).is_active());
+}
+
+/// An *active* plan really changes the run — the equivalence above is
+/// not an accident of the fault layer being dead code.
+#[test]
+fn active_plans_actually_perturb_the_run() {
+    let tasks = rtdvs::core::example::table2_task_set();
+    let machine = Machine::machine0();
+    let cfg = SimConfig::new(Time::from_ms(400.0))
+        .with_exec(ExecModel::uniform())
+        .with_seed(3);
+    let clean = simulate(&tasks, &machine, PolicyKind::CcEdf, &cfg);
+    let chaotic = simulate(
+        &tasks,
+        &machine,
+        PolicyKind::CcEdf,
+        &cfg.clone()
+            .with_faults(FaultPlan::new(9).with_overruns(0.5, 1.5)),
+    );
+    assert!(!chaotic.faults.is_empty(), "plan injected nothing");
+    assert_ne!(fingerprint(&clean), fingerprint(&chaotic));
+}

@@ -12,7 +12,11 @@
 //!   gate: delegates to `figures check` (crates/bench), which re-runs the
 //!   reduced sweep grid and diffs it against the committed
 //!   `BENCH_sweep.json` within ±1% energy, and structurally validates
-//!   `BENCH_paper_figures.json`.
+//!   `BENCH_paper_figures.json` and `BENCH_faults.json`.
+//! * `cargo run -p xtask -- chaos` — the fault-injection gate: delegates
+//!   to `figures chaos`, which re-runs the chaos-soak grid, asserts no
+//!   injected fault is ever misclassified as a policy bug, and diffs the
+//!   result against the committed `BENCH_faults.json`.
 //! * `cargo run -p xtask -- lint` — repo-specific source lints that
 //!   clippy cannot express:
 //!
@@ -27,6 +31,9 @@
 //!   handles the no-work and zero-horizon corners.
 //! - `must-use-point` — a `pub fn` returning `PointIdx` without
 //!   `#[must_use]`: dropping a computed operating point is always a bug.
+//! - `kernel-expect` — `.expect(` in `crates/kernel` non-test code. The
+//!   kernel layer is the OS surface: it must degrade (shed, renegotiate,
+//!   recover poisoned locks), never panic on a runtime condition.
 //!
 //! Findings can be suppressed per file via `xtask/lint-allow.txt`
 //! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
@@ -50,9 +57,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("ci") => ci(&args[1..]),
-        Some("bench-check") => bench_check(&args[1..]),
+        Some("bench-check") => figures_gate("check", &args[1..]),
+        Some("chaos") => figures_gate("chaos", &args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check>");
+            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos>");
             ExitCode::from(2)
         }
     }
@@ -68,7 +76,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` is the in-process
 /// pass (empty argv); everything else shells out to cargo so the stages
 /// are exactly what a contributor would type.
-const STAGES: [Stage; 7] = [
+const STAGES: [Stage; 8] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -105,6 +113,20 @@ const STAGES: [Stage; 7] = [
             "figures",
             "--",
             "check",
+        ],
+    },
+    Stage {
+        name: "chaos",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "chaos",
         ],
     },
 ];
@@ -194,10 +216,10 @@ fn ci(args: &[String]) -> ExitCode {
     }
 }
 
-/// Delegates to the tolerance-based artifact comparator in `rtdvs-bench`
-/// (`figures check`), forwarding any extra arguments (e.g. `--tolerance
+/// Delegates to an artifact gate in `rtdvs-bench` (`figures check` or
+/// `figures chaos`), forwarding any extra arguments (e.g. `--tolerance
 /// 0.02` or `--golden-dir some/dir`).
-fn bench_check(args: &[String]) -> ExitCode {
+fn figures_gate(command: &str, args: &[String]) -> ExitCode {
     let status = Command::new("cargo")
         .args([
             "run",
@@ -208,7 +230,7 @@ fn bench_check(args: &[String]) -> ExitCode {
             "--bin",
             "figures",
             "--",
-            "check",
+            command,
         ])
         .args(args)
         .current_dir(repo_root())
@@ -317,6 +339,7 @@ fn load_allowlist(path: &Path) -> Vec<(String, String)> {
 
 fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let in_core = rel.starts_with("crates/core/");
+    let in_kernel = rel.starts_with("crates/kernel/");
     let is_time = rel == "crates/core/src/time.rs";
     let in_policy = rel.starts_with("crates/core/src/policy/") && !rel.ends_with("/mod.rs");
     let lines: Vec<&str> = source.lines().collect();
@@ -364,6 +387,17 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                         .to_owned(),
                 });
             }
+        }
+
+        if in_kernel && line.contains(".expect(") {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: n,
+                rule: "kernel-expect",
+                msg: "`.expect(` in the kernel layer; degrade or recover instead of panicking \
+                      (see server.rs's lock_recovering)"
+                    .to_owned(),
+            });
         }
 
         if !is_time {
