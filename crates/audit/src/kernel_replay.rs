@@ -1,0 +1,464 @@
+//! Replay audit of the kernel's own event log.
+//!
+//! The trace auditor in [`crate::replay`] checks a *simulator* run against
+//! the paper's DVS guarantees. This module audits the other artifact the
+//! repo produces: the [`RtKernel`](rtdvs_kernel::RtKernel) lifecycle log,
+//! as read back live or stitched together across a crash/restore cycle
+//! (the snapshot carries the full log, so a restored run's log is a
+//! superset of the pre-crash one). The checks are pure log-consistency
+//! rules — they need no kernel instance, only the `(time, event)` pairs:
+//!
+//! - timestamps never go backwards,
+//! - the mode epoch advances by exactly one per committed transaction
+//!   ([`Rule::EpochMonotonicity`]),
+//! - per task, invocation numbers are released in `+1` sequence and every
+//!   release is closed (completion, miss, removal, or shed) before the
+//!   next one ([`Rule::KernelLogConsistency`]),
+//! - no event names a task that is not live at that point (orphan events),
+//! - every `DeadlineMiss` event is surfaced as a [`Rule::DeadlineMiss`]
+//!   finding so harnesses can assert "zero policy-blamed misses" on the
+//!   same report type the trace auditor uses.
+//!
+//! A trailing open invocation is *not* a violation: a log captured
+//! mid-run (or at a checkpoint) legitimately ends with work in flight.
+
+use std::collections::HashMap;
+
+use rtdvs_core::time::Time;
+use rtdvs_kernel::{KernelEvent, TaskHandle};
+
+use crate::violation::{Rule, Violation};
+
+/// Per-task bookkeeping while walking the log.
+#[derive(Default)]
+struct TaskState {
+    /// Admitted (or readmitted) and not since removed/shed.
+    live: bool,
+    /// The invocation number currently released and not yet closed.
+    open: Option<u64>,
+    /// The last invocation number ever released (survives shed/readmit,
+    /// which continue the count).
+    last_released: Option<u64>,
+}
+
+fn flag(out: &mut Vec<Violation>, time: Time, rule: Rule, details: String) {
+    out.push(Violation {
+        time,
+        task: None,
+        rule,
+        details,
+    });
+}
+
+/// Audits a kernel event log for lifecycle consistency.
+///
+/// Returns one [`Violation`] per broken rule, in log order. An empty
+/// result means the log is a self-consistent history: admissions precede
+/// releases, invocations are sequential and properly closed, removals and
+/// sheds only name live tasks, and committed mode changes stepped the
+/// epoch monotonically.
+#[must_use]
+pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut tasks: HashMap<TaskHandle, TaskState> = HashMap::new();
+    let mut last_time = Time::ZERO;
+    let mut last_epoch = 0u64;
+
+    // Requires the handle to be live; one violation per orphan event.
+    fn live<'a>(
+        tasks: &'a mut HashMap<TaskHandle, TaskState>,
+        out: &mut Vec<Violation>,
+        time: Time,
+        handle: TaskHandle,
+        what: &str,
+    ) -> &'a mut TaskState {
+        let st = tasks.entry(handle).or_default();
+        if !st.live {
+            flag(
+                out,
+                time,
+                Rule::KernelLogConsistency,
+                format!("{what} for {handle}, which is not live here (orphan event)"),
+            );
+            // Keep auditing from the event's own premise to avoid a
+            // cascade of findings for the same root cause.
+            st.live = true;
+        }
+        st
+    }
+
+    for &(time, ref event) in log {
+        if time.as_ms() < last_time.as_ms() {
+            flag(
+                &mut out,
+                time,
+                Rule::KernelLogConsistency,
+                format!(
+                    "timestamp went backwards: {:.3}ms after {:.3}ms",
+                    time.as_ms(),
+                    last_time.as_ms()
+                ),
+            );
+        }
+        last_time = last_time.max(time);
+
+        match *event {
+            KernelEvent::Admitted { handle, .. } => {
+                let st = tasks.entry(handle).or_default();
+                if st.live {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::KernelLogConsistency,
+                        format!("{handle} admitted while already live"),
+                    );
+                }
+                // Handles are never reissued, so a (re)admission starts a
+                // fresh invocation sequence.
+                *st = TaskState {
+                    live: true,
+                    open: None,
+                    last_released: None,
+                };
+            }
+            KernelEvent::Readmitted { handle, .. } => {
+                let st = tasks.entry(handle).or_default();
+                if st.live {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::KernelLogConsistency,
+                        format!("{handle} readmitted while already live"),
+                    );
+                }
+                // Readmission continues the shed task's invocation count.
+                st.live = true;
+                st.open = None;
+            }
+            KernelEvent::Removed { handle } | KernelEvent::Shed { handle, .. } => {
+                let st = live(&mut tasks, &mut out, time, handle, "removal/shed");
+                // Leaving the set closes any open invocation.
+                st.live = false;
+                st.open = None;
+            }
+            KernelEvent::Released { handle, invocation } => {
+                let st = live(&mut tasks, &mut out, time, handle, "release");
+                if let Some(open) = st.open {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::KernelLogConsistency,
+                        format!(
+                            "{handle} released invocation {invocation} while \
+                             invocation {open} is still unclosed"
+                        ),
+                    );
+                }
+                if let Some(last) = st.last_released {
+                    if invocation != last + 1 {
+                        flag(
+                            &mut out,
+                            time,
+                            Rule::KernelLogConsistency,
+                            format!(
+                                "{handle} released invocation {invocation} out of \
+                                 sequence (expected {})",
+                                last + 1
+                            ),
+                        );
+                    }
+                }
+                st.open = Some(invocation);
+                st.last_released = Some(invocation);
+            }
+            KernelEvent::Completed { handle, invocation } => {
+                let st = live(&mut tasks, &mut out, time, handle, "completion");
+                if st.open != Some(invocation) {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::KernelLogConsistency,
+                        format!(
+                            "{handle} completed invocation {invocation} without a \
+                             matching open release ({:?} open)",
+                            st.open
+                        ),
+                    );
+                }
+                st.open = None;
+            }
+            KernelEvent::DeadlineMiss {
+                handle,
+                invocation,
+                remaining,
+            } => {
+                let st = live(&mut tasks, &mut out, time, handle, "deadline miss");
+                if st.open != Some(invocation) {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::KernelLogConsistency,
+                        format!(
+                            "{handle} missed invocation {invocation} without a \
+                             matching open release ({:?} open)",
+                            st.open
+                        ),
+                    );
+                }
+                st.open = None;
+                flag(
+                    &mut out,
+                    time,
+                    Rule::DeadlineMiss,
+                    format!(
+                        "{handle} invocation {invocation} missed its deadline \
+                         with {:.3}ms outstanding",
+                        remaining.as_ms()
+                    ),
+                );
+            }
+            KernelEvent::Overrun { handle, .. } | KernelEvent::Renegotiated { handle, .. } => {
+                let _ = live(&mut tasks, &mut out, time, handle, "overrun/renegotiation");
+            }
+            KernelEvent::ModeChangeCommitted { epoch } => {
+                if epoch != last_epoch + 1 {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::EpochMonotonicity,
+                        format!(
+                            "mode change committed epoch {epoch}, expected {}",
+                            last_epoch + 1
+                        ),
+                    );
+                }
+                // Resync on the observed value so one skip is one finding.
+                last_epoch = epoch;
+            }
+            KernelEvent::PolicyLoaded { .. }
+            | KernelEvent::Degraded { .. }
+            | KernelEvent::ModeChangeStaged { .. }
+            | KernelEvent::ModeChangeRejected { .. }
+            | KernelEvent::GovernorStretched { .. }
+            | KernelEvent::GovernorRelaxed
+            | KernelEvent::SnapshotTaken => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdvs_core::machine::Machine;
+    use rtdvs_core::policy::PolicyKind;
+    use rtdvs_core::time::Work;
+    use rtdvs_kernel::{FractionBody, ModeChange, RtKernel};
+
+    fn ms(v: f64) -> Time {
+        Time::from_ms(v)
+    }
+
+    #[test]
+    fn a_real_kernel_run_audits_clean() {
+        let mut k = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+        let a = k
+            .spawn(ms(10.0), Work::from_ms(3.0), Box::new(FractionBody(0.8)))
+            .unwrap();
+        k.spawn(ms(20.0), Work::from_ms(4.0), Box::new(FractionBody(0.6)))
+            .unwrap();
+        k.run_for(ms(95.0));
+        k.submit_mode_change(
+            ModeChange::new()
+                .reparam(a, ms(16.0), Work::from_ms(3.0))
+                .admit(ms(40.0), Work::from_ms(2.0), Box::new(FractionBody(0.5))),
+        )
+        .unwrap();
+        k.run_for(ms(160.0));
+        k.remove(a).unwrap();
+        k.run_for(ms(80.0));
+        let violations = audit_kernel_log(k.log());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(k
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, KernelEvent::ModeChangeCommitted { epoch: 1 })));
+    }
+
+    #[test]
+    fn epoch_skips_and_repeats_are_flagged() {
+        let log = vec![
+            (ms(1.0), KernelEvent::ModeChangeCommitted { epoch: 1 }),
+            (ms(2.0), KernelEvent::ModeChangeCommitted { epoch: 3 }),
+            (ms(3.0), KernelEvent::ModeChangeCommitted { epoch: 4 }),
+            (ms(4.0), KernelEvent::ModeChangeCommitted { epoch: 4 }),
+        ];
+        let violations = audit_kernel_log(&log);
+        let epochs: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == Rule::EpochMonotonicity)
+            .collect();
+        assert_eq!(epochs.len(), 2, "{violations:?}");
+        assert!(epochs[0].details.contains("epoch 3, expected 2"));
+        assert!(epochs[1].details.contains("epoch 4, expected 5"));
+    }
+
+    #[test]
+    fn orphan_and_out_of_sequence_events_are_flagged() {
+        let h = TaskHandle::from_raw(1);
+        // Released without admission, then a sequence gap, then an
+        // unclosed release superseded by the next one.
+        let log = vec![
+            (
+                ms(0.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(1.0),
+                KernelEvent::Completed {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(10.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 3,
+                },
+            ),
+            (
+                ms(20.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 4,
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&log);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == Rule::KernelLogConsistency && v.details.contains("orphan")));
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("out of sequence (expected 2)")));
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("invocation 3 is still unclosed")));
+    }
+
+    #[test]
+    fn backwards_time_and_stray_completion_are_flagged() {
+        let h = TaskHandle::from_raw(2);
+        let log = vec![
+            (
+                ms(5.0),
+                KernelEvent::Admitted {
+                    handle: h,
+                    deferred: false,
+                },
+            ),
+            (
+                ms(4.0),
+                KernelEvent::Completed {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&log);
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("timestamp went backwards")));
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("without a matching open release")));
+    }
+
+    #[test]
+    fn misses_surface_as_deadline_miss_findings() {
+        let h = TaskHandle::from_raw(1);
+        let log = vec![
+            (
+                ms(0.0),
+                KernelEvent::Admitted {
+                    handle: h,
+                    deferred: false,
+                },
+            ),
+            (
+                ms(0.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(10.0),
+                KernelEvent::DeadlineMiss {
+                    handle: h,
+                    invocation: 1,
+                    remaining: Work::from_ms(0.5),
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&log);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, Rule::DeadlineMiss);
+        assert!(violations[0].details.contains("0.500ms outstanding"));
+    }
+
+    #[test]
+    fn shed_and_readmit_continue_the_invocation_count() {
+        let h = TaskHandle::from_raw(1);
+        let log = vec![
+            (
+                ms(0.0),
+                KernelEvent::Admitted {
+                    handle: h,
+                    deferred: false,
+                },
+            ),
+            (
+                ms(0.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(10.0),
+                KernelEvent::Shed {
+                    handle: h,
+                    observed: Work::from_ms(9.0),
+                },
+            ),
+            (
+                ms(30.0),
+                KernelEvent::Readmitted {
+                    handle: h,
+                    bound: Work::from_ms(9.0),
+                },
+            ),
+            (
+                ms(30.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 2,
+                },
+            ),
+            (
+                ms(35.0),
+                KernelEvent::Completed {
+                    handle: h,
+                    invocation: 2,
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&log);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -41,12 +41,14 @@
 //! ```
 
 mod classify;
+mod kernel_replay;
 mod replay;
 mod violation;
 
 pub use classify::{
     classify_misses, fault_induced_misses, policy_bug_misses, ClassifiedMiss, MissClass,
 };
+pub use kernel_replay::audit_kernel_log;
 pub use replay::{audit_run, TraceAuditor};
 pub use violation::{Rule, Violation};
 

@@ -43,6 +43,14 @@ pub enum Rule {
     /// admission test's premises. Informational — chaos runs assert these
     /// are the *only* kind of miss.
     FaultInducedMiss,
+    /// The kernel's mode epoch did not advance monotonically by one per
+    /// committed transaction — a transactional mode change committed
+    /// twice, out of order, or skipped an epoch.
+    EpochMonotonicity,
+    /// The kernel event log is internally inconsistent: an invocation
+    /// released out of sequence, left unclosed, or attributed to a task
+    /// that was never admitted (orphan event).
+    KernelLogConsistency,
 }
 
 impl Rule {
@@ -61,6 +69,8 @@ impl Rule {
             Rule::PolicyDivergence => "policy-divergence",
             Rule::TraceConsistency => "trace-consistency",
             Rule::FaultInducedMiss => "fault-induced-miss",
+            Rule::EpochMonotonicity => "epoch-monotonicity",
+            Rule::KernelLogConsistency => "kernel-log-consistency",
         }
     }
 
@@ -77,6 +87,9 @@ impl Rule {
             Rule::IdleAtLowest => "§3.2 (idle at the lowest point)",
             Rule::PolicyDivergence | Rule::TraceConsistency => "trace replay",
             Rule::FaultInducedMiss => "fault injection (chaos harness)",
+            Rule::EpochMonotonicity | Rule::KernelLogConsistency => {
+                "kernel lifecycle (mode changes & recovery)"
+            }
         }
     }
 }
@@ -142,6 +155,8 @@ mod tests {
             Rule::PolicyDivergence,
             Rule::TraceConsistency,
             Rule::FaultInducedMiss,
+            Rule::EpochMonotonicity,
+            Rule::KernelLogConsistency,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

@@ -34,6 +34,10 @@
 //! classifier blames on the *policy*, and `fault_miss` counts the ones it
 //! attributes to injected faults. The guaranteed-policy zero-miss check
 //! then enforces "faults never turn into policy bugs" mechanically.
+//! Mode-churn artifacts (grid label `"mode-churn"`) reinterpret the axes
+//! the same way: `u` is the churn probability, `energy_norm` is against
+//! the churn-free baseline, and `fault_miss` counts kernel-log audit
+//! findings (see `crate::modes`).
 //!
 //! Everything except `meta.threads` and `wall_ms` is a pure function of
 //! the experiment seed; [`BenchArtifact::canonical_json`] zeroes those two
@@ -292,14 +296,16 @@ impl BenchArtifact {
     /// policies never miss, and energies are positive. Returns one message
     /// per violation.
     ///
-    /// Chaos-soak grids normalize each policy against its own fault-free
-    /// baseline, so the EDF-normalizes-to-1 check does not apply there;
-    /// the guaranteed-policy check does (and, because chaos artifacts put
+    /// Chaos-soak and mode-churn grids normalize each policy against its
+    /// own fault-free (respectively churn-free) baseline, so the
+    /// EDF-normalizes-to-1 check does not apply there; the
+    /// guaranteed-policy check does (and, because those artifacts put
     /// only policy-blamed misses in `deadline_miss`, it enforces that no
-    /// injected fault was ever misclassified as a policy bug).
+    /// injected fault or committed mode change was ever misclassified as
+    /// a policy bug).
     #[must_use]
     pub fn validate(&self) -> Vec<String> {
-        let chaos = self.grid.label == "chaos-soak";
+        let chaos = matches!(self.grid.label.as_str(), "chaos-soak" | "mode-churn");
         let mut problems = Vec::new();
         let expected_series = self.grid.policies.len() * self.grid.n_tasks.len();
         if self.series.len() != expected_series {

@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! figures [run] [--quick] [--threads N] [--seed S] [--out DIR]
-//!     Regenerate Figures 6–8, the smoke sweep, and the chaos soak;
-//!     write BENCH_paper_figures.json, BENCH_sweep.json, and
-//!     BENCH_faults.json into DIR (default: the repository root).
+//!     Regenerate Figures 6–8, the smoke sweep, the chaos soak, and the
+//!     mode-churn soak; write BENCH_paper_figures.json, BENCH_sweep.json,
+//!     BENCH_faults.json, and BENCH_modes.json into DIR (default: the
+//!     repository root).
 //!
 //! figures check [--tolerance FRACTION] [--golden-dir DIR] [--threads N]
 //!     Re-run the smoke grid and diff it against the committed
@@ -25,6 +26,14 @@
 //!     the result against the committed BENCH_faults.json, and validate
 //!     its structure. This is what `xtask chaos` and the CI chaos-smoke
 //!     stage run.
+//!
+//! figures modes [--tolerance FRACTION] [--golden-dir DIR]
+//!     Re-run the mode-churn smoke grid (transactional mode changes
+//!     across all six policies), assert that no commit ever costs a
+//!     deadline and that every kernel log replays clean through the
+//!     lifecycle auditor, diff the result against the committed
+//!     BENCH_modes.json, and validate its structure. This is what
+//!     `xtask modes` and the CI mode-churn stage run.
 //! ```
 
 use std::num::NonZeroUsize;
@@ -36,6 +45,7 @@ use rtdvs_bench::chaos::{chaos_smoke_config, run_chaos};
 use rtdvs_bench::figures::{
     paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
 };
+use rtdvs_bench::modes::{modes_smoke_config, run_modes};
 use rtdvs_bench::render_normalized_chart;
 
 /// Default experiment seed (the sweep harness default, `0x5eed`).
@@ -45,6 +55,7 @@ const DEFAULT_SEED: u64 = 0x5eed;
 const PAPER_FIGURES_FILE: &str = "BENCH_paper_figures.json";
 const SWEEP_FILE: &str = "BENCH_sweep.json";
 const FAULTS_FILE: &str = "BENCH_faults.json";
+const MODES_FILE: &str = "BENCH_modes.json";
 
 struct Args {
     command: String,
@@ -71,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" | "chaos" => args.command = a,
+            "run" | "check" | "bench" | "chaos" | "modes" => args.command = a,
             "--quick" => args.quick = true,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a count")?;
@@ -112,7 +123,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos] [--quick] [--threads N] [--threads-list 1,2,4] \
+    "usage: figures [run|check|bench|chaos|modes] [--quick] [--threads N] [--threads-list 1,2,4] \
      [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
         .to_owned()
 }
@@ -208,9 +219,12 @@ fn run(args: &Args) -> Result<(), String> {
 
     let faults = run_chaos(&chaos_smoke_config(args.seed));
     write_artifact(&out, FAULTS_FILE, &faults)?;
+
+    let churn = run_modes(&modes_smoke_config(args.seed));
+    write_artifact(&out, MODES_FILE, &churn)?;
     println!(
         "total wall: {} ms across {} simulations",
-        artifact.wall_ms + smoke.wall_ms + faults.wall_ms,
+        artifact.wall_ms + smoke.wall_ms + faults.wall_ms + churn.wall_ms,
         figures.iter().map(|f| f.run.stats.sims).sum::<u64>()
     );
     Ok(())
@@ -256,7 +270,7 @@ fn check(args: &Args) -> Result<(), String> {
 
     // 2. Structural invariants of the committed paper-figures artifact
     //    (full regeneration is `figures run`; too slow for every push).
-    for name in [PAPER_FIGURES_FILE, FAULTS_FILE] {
+    for name in [PAPER_FIGURES_FILE, FAULTS_FILE, MODES_FILE] {
         let golden = load_golden(&dir, name)?;
         let structural = golden.validate();
         if structural.is_empty() {
@@ -333,6 +347,69 @@ fn chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn modes(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let golden = load_golden(&dir, MODES_FILE)?;
+    let fresh = run_modes(&modes_smoke_config(golden.seed));
+
+    // 1. No commit ever costs a deadline, and every kernel log replays
+    //    clean through the lifecycle auditor (fault_miss carries the
+    //    finding count in mode-churn grids).
+    let mut commits_energy = 0.0f64;
+    for series in &fresh.series {
+        for p in &series.points {
+            if p.deadline_miss != 0 {
+                return Err(format!(
+                    "modes: {} missed {} deadline(s) at churn rate {} — \
+                     a miss under transactional churn is a safe-point bug",
+                    series.policy, p.deadline_miss, p.u
+                ));
+            }
+            if p.fault_miss != 0 {
+                return Err(format!(
+                    "modes: {} has {} lifecycle audit finding(s) at churn rate {}",
+                    series.policy, p.fault_miss, p.u
+                ));
+            }
+            commits_energy = commits_energy.max(p.energy_norm);
+        }
+    }
+
+    // 2. The fresh soak reproduces the committed golden.
+    let problems = compare(&golden, &fresh, args.tolerance);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("modes: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {MODES_FILE}; if the transaction machinery \
+             intentionally changed, regenerate the goldens with `figures run` and commit them",
+            problems.len()
+        ));
+    }
+
+    // 3. Structural invariants of the artifact itself.
+    let structural = fresh.validate();
+    if !structural.is_empty() {
+        for p in &structural {
+            eprintln!("modes: {MODES_FILE}: {p}");
+        }
+        return Err(format!("{} structural problem(s)", structural.len()));
+    }
+
+    println!(
+        "modes: {} policies x {} churn rates reproduce {} within ±{:.1}% \
+         (0 misses, 0 audit findings, worst churn overhead {:.3}x, {} ms)",
+        fresh.grid.policies.len(),
+        fresh.grid.utilizations.len(),
+        MODES_FILE,
+        100.0 * args.tolerance,
+        commits_energy,
+        fresh.wall_ms
+    );
+    Ok(())
+}
+
 fn bench(args: &Args) -> Result<(), String> {
     let scale = figures_scale(args.quick);
     println!(
@@ -388,6 +465,7 @@ fn main() -> ExitCode {
         "check" => check(&args),
         "bench" => bench(&args),
         "chaos" => chaos(&args),
+        "modes" => modes(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

@@ -14,6 +14,7 @@ pub mod chaos;
 pub mod chart;
 pub mod figures;
 pub mod microbench;
+pub mod modes;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
@@ -23,6 +24,7 @@ pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
 pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
 pub use chart::render_normalized_chart;
 pub use figures::*;
+pub use modes::{modes_smoke_config, run_modes, ModesConfig};
 pub use runner::{run_sweep_threads, RunnerStats, SweepRun};
 pub use stats::{welch_t, Summary};
 pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};

@@ -1,0 +1,389 @@
+//! Mode-churn soak: transactional mode-change sweeps with lifecycle
+//! auditing.
+//!
+//! Where the chaos soak injects *hardware* faults, the mode-churn soak
+//! stresses the kernel's *lifecycle* machinery: it drives every policy
+//! over the worked example of Table 2 while submitting transactional
+//! mode changes ([`rtdvs_kernel::ModeChange`]) at increasing rates — each
+//! churn toggles the highest-rate task between its nominal period and a
+//! relaxed one, so the set stays admissible under all six policies at
+//! every instant and any deadline miss is a transaction bug, not an
+//! overload artifact. Every churned run's event log is then replayed
+//! through [`rtdvs_audit::audit_kernel_log`], which checks that the mode
+//! epoch stepped monotonically and that no invocation was orphaned,
+//! duplicated, or left unclosed across the commits.
+//!
+//! The output reuses the `rtdvs-bench/v1` artifact with the axes
+//! reinterpreted (grid label `"mode-churn"`): `u` is the per-slot churn
+//! probability, `energy_norm` is energy relative to the same policy's
+//! churn-free run at the same seeds (the transaction overhead),
+//! `deadline_miss` counts deadline misses (expected 0 — the safe-point
+//! rule forbids a commit from invalidating in-flight work), and
+//! `fault_miss` carries the kernel-log audit finding count other than the
+//! misses themselves (also expected 0). Committing the golden therefore
+//! enforces both "mode churn never costs a deadline" and "the lifecycle
+//! log stays replay-clean" mechanically on every regeneration.
+//!
+//! At churn rate 0 no transaction is ever submitted, so the churned run
+//! IS the baseline and the normalization is exactly 1 — the same
+//! bit-exactness anchor the chaos soak uses.
+
+use std::time::Instant;
+
+use rtdvs_audit::{audit_kernel_log, Rule};
+use rtdvs_core::machine::Machine;
+use rtdvs_core::policy::PolicyKind;
+use rtdvs_core::time::{Time, Work};
+use rtdvs_kernel::{KernelError, ModeChange, RtKernel, UniformBody};
+use rtdvs_taskgen::SplitMix64;
+
+use crate::artifact::{BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
+
+/// The grid label that switches the artifact validator into per-policy
+/// normalization mode (see [`BenchArtifact::validate`]).
+pub const MODES_LABEL: &str = "mode-churn";
+
+/// Spacing of the churn decision slots, milliseconds: every slot
+/// boundary flips a coin with the grid's churn probability.
+const CHURN_SLOT_MS: f64 = 20.0;
+
+/// The Table 2 set the soak runs: `(period_ms, wcet_ms)`.
+const TABLE2: [(f64, f64); 3] = [(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)];
+
+/// The relaxed period each churn toggles the first task to (and back).
+/// Both 8 ms and 12 ms keep the set admissible under every paper policy
+/// (worst-case utilization 0.746 and 0.621 against the RM bound 0.780),
+/// so a miss in the grid is a transaction bug by construction.
+const RELAXED_PERIOD_MS: f64 = 12.0;
+
+/// Configuration for one mode-churn soak.
+#[derive(Debug, Clone)]
+pub struct ModesConfig {
+    /// Machine to simulate.
+    pub machine: Machine,
+    /// Policies to soak, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// Per-slot churn probabilities (x axis). `0.0` means no transaction
+    /// is ever submitted.
+    pub churn_rates: Vec<f64>,
+    /// Independent seed sets averaged per rate.
+    pub sets_per_rate: usize,
+    /// Simulated horizon per run.
+    pub duration: Time,
+    /// Base RNG seed every per-cell stream derives from.
+    pub seed: u64,
+}
+
+/// The grid behind `BENCH_modes.json` and the CI mode-churn stage: churn
+/// probabilities 0–100% per 20 ms slot across all six paper policies,
+/// three seed sets per rate, on machine 0. Small enough to re-run on
+/// every push.
+#[must_use]
+pub fn modes_smoke_config(seed: u64) -> ModesConfig {
+    ModesConfig {
+        machine: Machine::machine0(),
+        policies: PolicyKind::paper_six().to_vec(),
+        churn_rates: vec![0.0, 0.2, 0.5, 1.0],
+        sets_per_rate: 3,
+        duration: Time::from_ms(600.0),
+        seed,
+    }
+}
+
+/// One policy's tallies at one churn rate.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateCell {
+    /// Energy with churn applied, summed over the rate's seed sets.
+    energy: f64,
+    /// Energy of the churn-free run at the same seeds.
+    baseline: f64,
+    /// Deadline misses across the churned runs.
+    misses: u64,
+    /// Kernel-log audit findings other than the misses themselves.
+    audit_findings: u64,
+}
+
+/// One churned (or churn-free) kernel run's outcome.
+struct CellRun {
+    energy: f64,
+    misses: u64,
+    audit_findings: u64,
+}
+
+/// Runs one kernel to `duration`, submitting a period-toggle transaction
+/// at each scheduled churn instant. `schedule` is empty for the baseline.
+fn run_cell(
+    kind: PolicyKind,
+    machine: &Machine,
+    duration: Time,
+    body_seed: u64,
+    schedule: &[Time],
+) -> CellRun {
+    let mut bodies = SplitMix64::seed_from_u64(body_seed);
+    let mut kernel = RtKernel::new(machine.clone(), kind);
+    let mut handles = Vec::new();
+    for (period, wcet) in TABLE2 {
+        let h = kernel
+            .spawn(
+                Time::from_ms(period),
+                Work::from_ms(wcet),
+                Box::new(UniformBody::new(bodies.next_u64())),
+            )
+            .expect("Table 2 is admitted by every paper policy");
+        handles.push(h);
+    }
+    let (nominal, wcet) = (Time::from_ms(TABLE2[0].0), Work::from_ms(TABLE2[0].1));
+    let mut relaxed = false;
+    for &at in schedule {
+        if kernel.now().as_ms() < at.as_ms() {
+            kernel.run_for(at - kernel.now());
+        }
+        let target = if relaxed {
+            nominal
+        } else {
+            Time::from_ms(RELAXED_PERIOD_MS)
+        };
+        match kernel.submit_mode_change(ModeChange::new().reparam(handles[0], target, wcet)) {
+            Ok(_) => relaxed = !relaxed,
+            // A transaction staged at the previous slot and not yet at its
+            // safe point keeps the builder busy; skip this slot's toggle.
+            Err(KernelError::ModeChangeBusy) => {}
+            Err(e) => panic!("churn transaction rejected: {e}"),
+        }
+    }
+    if kernel.now().as_ms() < duration.as_ms() {
+        kernel.run_for(duration - kernel.now());
+    }
+    let misses = kernel.misses().count() as u64;
+    let audit_findings = audit_kernel_log(kernel.log())
+        .iter()
+        .filter(|v| v.rule != Rule::DeadlineMiss)
+        .count() as u64;
+    CellRun {
+        energy: kernel.energy(),
+        misses,
+        audit_findings,
+    }
+}
+
+/// The churn instants for one cell: each slot boundary inside the horizon
+/// fires with probability `rate`, drawn from the cell's own stream.
+fn churn_schedule(stream: &mut SplitMix64, rate: f64, duration: Time) -> Vec<Time> {
+    let mut schedule = Vec::new();
+    let mut slot = 1u32;
+    loop {
+        let at = Time::from_ms(CHURN_SLOT_MS * f64::from(slot));
+        if at.as_ms() >= duration.as_ms() {
+            return schedule;
+        }
+        if stream.next_f64() < rate {
+            schedule.push(at);
+        }
+        slot += 1;
+    }
+}
+
+/// Runs the mode-churn soak and packs it into a `"mode-churn"` artifact.
+///
+/// Deterministic in `cfg` alone: each `(rate, set)` cell derives its body
+/// seed and churn schedule from
+/// `SplitMix64::seed_from_u64(cfg.seed).split(cell_id)` — the same
+/// per-cell stream discipline as the chaos soak — and the schedule is
+/// shared across the cell's policies so every column sees identical
+/// churn. Only `wall_ms` varies between runs.
+///
+/// # Panics
+///
+/// Panics if the grid is empty, a churn rate is outside `[0, 1]`, or a
+/// churn transaction is rejected outright (the toggle set is admissible
+/// by construction, so a rejection is a transaction-machinery bug).
+#[must_use]
+pub fn run_modes(cfg: &ModesConfig) -> BenchArtifact {
+    assert!(
+        !cfg.churn_rates.is_empty() && cfg.sets_per_rate > 0 && !cfg.policies.is_empty(),
+        "mode-churn grid must be non-empty"
+    );
+    assert!(
+        cfg.churn_rates.iter().all(|r| (0.0..=1.0).contains(r)),
+        "churn rates are probabilities"
+    );
+    let start = Instant::now();
+    let n_pol = cfg.policies.len();
+    let mut cells = vec![RateCell::default(); cfg.churn_rates.len() * n_pol];
+
+    for (ri, &rate) in cfg.churn_rates.iter().enumerate() {
+        for s in 0..cfg.sets_per_rate {
+            let cell_id = (ri * cfg.sets_per_rate + s) as u64;
+            let mut stream = SplitMix64::seed_from_u64(cfg.seed).split(cell_id);
+            let body_seed = stream.next_u64();
+            let schedule = churn_schedule(&mut stream, rate, cfg.duration);
+            for (pi, kind) in cfg.policies.iter().enumerate() {
+                let churned = run_cell(*kind, &cfg.machine, cfg.duration, body_seed, &schedule);
+                let clean = run_cell(*kind, &cfg.machine, cfg.duration, body_seed, &[]);
+                let cell = &mut cells[ri * n_pol + pi];
+                cell.energy += churned.energy;
+                cell.baseline += clean.energy;
+                cell.misses += churned.misses + clean.misses;
+                cell.audit_findings += churned.audit_findings + clean.audit_findings;
+            }
+        }
+    }
+
+    let series = cfg
+        .policies
+        .iter()
+        .enumerate()
+        .map(|(pi, kind)| BenchSeries {
+            policy: kind.name().to_owned(),
+            n_tasks: TABLE2.len(),
+            points: cfg
+                .churn_rates
+                .iter()
+                .enumerate()
+                .map(|(ri, &rate)| {
+                    let cell = &cells[ri * n_pol + pi];
+                    BenchPoint {
+                        u: rate,
+                        energy_norm: cell.energy / cell.baseline,
+                        deadline_miss: cell.misses,
+                        fault_miss: cell.audit_findings,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    BenchArtifact {
+        seed: cfg.seed,
+        threads: 1,
+        grid: BenchGrid {
+            label: MODES_LABEL.to_owned(),
+            n_tasks: vec![TABLE2.len()],
+            utilizations: cfg.churn_rates.clone(),
+            sets_per_point: cfg.sets_per_rate,
+            duration_ms: cfg.duration.as_ms(),
+            policies: cfg.policies.iter().map(|k| k.name().to_owned()).collect(),
+        },
+        series,
+        wall_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModesConfig {
+        let mut cfg = modes_smoke_config(0x30DE);
+        cfg.churn_rates = vec![0.0, 1.0];
+        cfg.sets_per_rate = 2;
+        cfg.duration = Time::from_ms(300.0);
+        cfg
+    }
+
+    #[test]
+    fn modes_artifact_is_deterministic() {
+        let cfg = tiny();
+        let a = run_modes(&cfg);
+        let b = run_modes(&cfg);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn rate_zero_column_is_the_churn_free_baseline() {
+        // At rate 0 no transaction is ever submitted, so the churned run
+        // IS the baseline: the normalization is exactly 1 and nothing can
+        // miss (Table 2 is admitted by every paper policy).
+        let artifact = run_modes(&tiny());
+        for series in &artifact.series {
+            let p0 = &series.points[0];
+            assert_eq!(p0.u, 0.0);
+            assert_eq!(
+                p0.energy_norm.to_bits(),
+                1.0_f64.to_bits(),
+                "{}",
+                series.policy
+            );
+            assert_eq!(p0.deadline_miss, 0, "{}", series.policy);
+            assert_eq!(p0.fault_miss, 0, "{}", series.policy);
+        }
+    }
+
+    #[test]
+    fn smoke_grid_misses_nothing_and_audits_clean() {
+        // The PR's acceptance criterion: across the whole smoke grid, no
+        // commit ever costs a deadline, and every churned run's event log
+        // replays clean through the lifecycle auditor (monotonic epochs,
+        // no orphaned or out-of-sequence invocations).
+        let artifact = run_modes(&modes_smoke_config(0x5eed));
+        let problems = artifact.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+        for series in &artifact.series {
+            for p in &series.points {
+                assert_eq!(
+                    p.deadline_miss, 0,
+                    "{} missed a deadline at churn rate {}",
+                    series.policy, p.u
+                );
+                assert_eq!(
+                    p.fault_miss, 0,
+                    "{} has lifecycle audit findings at churn rate {}",
+                    series.policy, p.u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_actually_commits_transactions() {
+        // The soak is only meaningful if mode changes really commit: at
+        // rate 1 the first task's epoch must have advanced many times.
+        let mut stream = SplitMix64::seed_from_u64(7).split(0);
+        let body_seed = stream.next_u64();
+        let schedule = churn_schedule(&mut stream, 1.0, Time::from_ms(300.0));
+        assert!(schedule.len() >= 10, "schedule too sparse: {schedule:?}");
+        let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+        let mut bodies = SplitMix64::seed_from_u64(body_seed);
+        let mut handles = Vec::new();
+        for (period, wcet) in TABLE2 {
+            handles.push(
+                kernel
+                    .spawn(
+                        Time::from_ms(period),
+                        Work::from_ms(wcet),
+                        Box::new(UniformBody::new(bodies.next_u64())),
+                    )
+                    .unwrap(),
+            );
+        }
+        let mut relaxed = false;
+        for &at in &schedule {
+            if kernel.now().as_ms() < at.as_ms() {
+                kernel.run_for(at - kernel.now());
+            }
+            let target = if relaxed {
+                Time::from_ms(TABLE2[0].0)
+            } else {
+                Time::from_ms(RELAXED_PERIOD_MS)
+            };
+            if kernel
+                .submit_mode_change(ModeChange::new().reparam(
+                    handles[0],
+                    target,
+                    Work::from_ms(TABLE2[0].1),
+                ))
+                .is_ok()
+            {
+                relaxed = !relaxed;
+            }
+        }
+        kernel.run_for(Time::from_ms(50.0));
+        assert!(
+            kernel.mode_epoch() >= schedule.len() as u64 / 2,
+            "only {} commits for {} churn slots",
+            kernel.mode_epoch(),
+            schedule.len()
+        );
+        assert!(audit_kernel_log(kernel.log()).is_empty());
+    }
+}

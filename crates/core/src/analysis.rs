@@ -17,7 +17,7 @@
 //!   test.
 
 use crate::machine::{Machine, PointIdx};
-use crate::task::TaskSet;
+use crate::task::{Task, TaskSet};
 use crate::time::EPS;
 
 /// Which RM schedulability test to use.
@@ -165,6 +165,76 @@ pub fn static_rm_point(tasks: &TaskSet, machine: &Machine, test: RmTest) -> Opti
     machine.lowest_point_where(|p| rm_feasible_at(tasks, p.freq, test))
 }
 
+/// The period-stretch ladder used by elastic overload degradation: each
+/// factor multiplies a stretched task's nominal period, reducing its rate
+/// (and utilization) while preserving its computing bound.
+pub const STRETCH_LADDER: [f64; 3] = [1.25, 1.5, 2.0];
+
+/// Searches for the smallest elastic period-stretch assignment that makes
+/// `nominal` feasible, re-running the caller's schedulability test for every
+/// candidate.
+///
+/// `nominal` are the tasks at their nominal periods (with whatever computing
+/// bounds the caller wants validated — e.g. renegotiated to observed peaks).
+/// `order` lists task indices from *least* to *most* critical; candidates
+/// stretch a prefix of that order, so the least-critical tasks degrade
+/// first. For each prefix length `k = 1..=n` (shortest first) and each
+/// factor of [`STRETCH_LADDER`] (ascending), the candidate multiplies the
+/// periods of `order[..k]` by the factor and asks `feasible` whether the
+/// stretched set is schedulable. The first passing candidate wins, so the
+/// result is deterministic and minimally disruptive: fewest tasks touched,
+/// then smallest stretch — a more-critical task is never slowed while
+/// deeper stretching of the less-critical ones would suffice.
+///
+/// Returns per-task factors aligned with `nominal` (`1.0` = untouched), or
+/// `None` if even stretching every task by the ladder's maximum does not
+/// help. Candidates containing an invalid task (a bound exceeding even the
+/// stretched period) are skipped, not errors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..nominal.len()`.
+pub fn elastic_stretch_assignment<F>(
+    nominal: &[Task],
+    order: &[usize],
+    feasible: F,
+) -> Option<Vec<f64>>
+where
+    F: Fn(&TaskSet) -> bool,
+{
+    assert_eq!(order.len(), nominal.len(), "order must cover every task");
+    {
+        let mut seen = vec![false; nominal.len()];
+        for &i in order {
+            assert!(!seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+    }
+    for k in 1..=order.len() {
+        for &factor in &STRETCH_LADDER {
+            let mut factors = vec![1.0; nominal.len()];
+            for &i in &order[..k] {
+                factors[i] = factor;
+            }
+            let stretched: Option<Vec<Task>> = nominal
+                .iter()
+                .zip(&factors)
+                .map(|(t, &f)| {
+                    Task::new(crate::time::Time::from_ms(t.period().as_ms() * f), t.wcet()).ok()
+                })
+                .collect();
+            let Some(tasks) = stretched else { continue };
+            let Ok(candidate) = TaskSet::new(tasks) else {
+                continue;
+            };
+            if feasible(&candidate) {
+                return Some(factors);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +368,91 @@ mod tests {
             );
             prev = now;
         }
+    }
+
+    #[test]
+    fn stretch_finds_the_minimal_prefix() {
+        use crate::time::{Time, Work};
+        // U = 0.5 + 0.6 = 1.1: infeasible under EDF. Stretching only the
+        // least-critical task (index 1) by 1.25 gives 0.5 + 0.48 = 0.98.
+        let nominal = [
+            Task::new(Time::from_ms(10.0), Work::from_ms(5.0)).expect("valid"),
+            Task::new(Time::from_ms(10.0), Work::from_ms(6.0)).expect("valid"),
+        ];
+        let factors =
+            elastic_stretch_assignment(&nominal, &[1, 0], |set| edf_feasible_at(set, 1.0))
+                .expect("a stretch must exist");
+        assert_eq!(factors, vec![1.0, 1.25]);
+    }
+
+    #[test]
+    fn stretch_escalates_factor_before_criticality() {
+        use crate::time::{Time, Work};
+        // U = 0.5 + 0.9 = 1.4. Stretching task 1 alone: ×1.25 → 1.22,
+        // ×1.5 → 1.1, ×2.0 → 0.95 — the ladder must reach 2.0 on the
+        // least-critical task without ever touching task 0.
+        let nominal = [
+            Task::new(Time::from_ms(10.0), Work::from_ms(5.0)).expect("valid"),
+            Task::new(Time::from_ms(10.0), Work::from_ms(9.0)).expect("valid"),
+        ];
+        let factors =
+            elastic_stretch_assignment(&nominal, &[1, 0], |set| edf_feasible_at(set, 1.0))
+                .expect("a stretch must exist");
+        assert_eq!(factors, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn hopeless_overload_returns_none() {
+        use crate::time::{Time, Work};
+        // Even at ×2 on both tasks U = 2.4/2 + 1.8/2 > 1.
+        let nominal = [
+            Task::new(Time::from_ms(1.0), Work::from_ms(2.4)).ok(),
+            Task::new(Time::from_ms(1.0), Work::from_ms(0.9)).ok(),
+        ];
+        // A bound larger than the period is unrepresentable as a Task, so
+        // build the hopeless case from representable-but-overloaded tasks:
+        // three of U = 0.9 each still sum to 1.35 at the ladder's maximum.
+        assert!(nominal[0].is_none(), "2.4 > 1.0 must not be a valid task");
+        let nominal = [
+            Task::new(Time::from_ms(10.0), Work::from_ms(9.0)).expect("valid"),
+            Task::new(Time::from_ms(10.0), Work::from_ms(9.0)).expect("valid"),
+            Task::new(Time::from_ms(10.0), Work::from_ms(9.0)).expect("valid"),
+        ];
+        assert_eq!(
+            elastic_stretch_assignment(&nominal, &[2, 1, 0], |set| edf_feasible_at(set, 1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn stretch_skips_candidates_with_invalid_tasks() {
+        use crate::time::{Time, Work};
+        // Task 1's bound (8) exceeds its nominal period (6): only stretched
+        // candidates that make room for the bound are even representable.
+        let nominal = [
+            Task::new(Time::from_ms(10.0), Work::from_ms(2.0)).expect("valid"),
+            Task::new(Time::from_ms(12.0), Work::from_ms(8.0)).expect("valid"),
+        ];
+        // Pretend the caller renegotiated task 1's bound upward by building
+        // the nominal row directly with the larger bound via a short period.
+        let over = [
+            nominal[0],
+            Task::new(Time::from_ms(8.0), Work::from_ms(8.0)).expect("valid"),
+        ];
+        // At nominal, U = 0.2 + 1.0 = 1.2; ×1.25 on task 1 → 0.2 + 0.8 = 1.0.
+        let factors = elastic_stretch_assignment(&over, &[1, 0], |set| edf_feasible_at(set, 1.0))
+            .expect("a stretch must exist");
+        assert_eq!(factors, vec![1.0, 1.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn stretch_rejects_bad_order() {
+        use crate::time::{Time, Work};
+        let nominal = [
+            Task::new(Time::from_ms(10.0), Work::from_ms(1.0)).expect("valid"),
+            Task::new(Time::from_ms(10.0), Work::from_ms(1.0)).expect("valid"),
+        ];
+        let _ = elastic_stretch_assignment(&nominal, &[0, 0], |_| true);
     }
 }

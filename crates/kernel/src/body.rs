@@ -23,6 +23,39 @@ pub trait TaskBody: Send {
     fn on_invocation_complete(&mut self, invocation: u64, now: Time) {
         let _ = (invocation, now);
     }
+
+    /// The body's full internal state for checkpointing, or `None` for
+    /// bodies that cannot be serialized (closures). A kernel holding an
+    /// opaque body refuses to checkpoint rather than write a snapshot that
+    /// could not resume the same demand stream.
+    fn snapshot_state(&self) -> Option<BodyState> {
+        None
+    }
+}
+
+/// Serializable state of the built-in task bodies, captured by
+/// [`TaskBody::snapshot_state`] and revived by the snapshot module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyState {
+    /// [`WcetBody`]: stateless.
+    Wcet,
+    /// [`FractionBody`] with its fraction.
+    Fraction(f64),
+    /// [`UniformBody`] with the PRNG's current word.
+    Uniform {
+        /// The [`SplitMix64`] state; seeding a fresh generator with it
+        /// resumes the demand stream exactly.
+        rng_state: u64,
+    },
+    /// [`ColdStartBody`] wrapping another serializable body.
+    ColdStart {
+        /// First-invocation surcharge as a fraction of the WCET.
+        surcharge: f64,
+        /// The wrapped body's state.
+        inner: Box<BodyState>,
+    },
+    /// A polling-server body, with the server's full queue state.
+    Server(crate::server::ServerSnapshot),
 }
 
 impl<F> TaskBody for F
@@ -42,6 +75,10 @@ impl TaskBody for WcetBody {
     fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
         spec.wcet()
     }
+
+    fn snapshot_state(&self) -> Option<BodyState> {
+        Some(BodyState::Wcet)
+    }
 }
 
 /// A body that uses a constant fraction of the worst case each invocation.
@@ -51,6 +88,10 @@ pub struct FractionBody(pub f64);
 impl TaskBody for FractionBody {
     fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
         spec.wcet() * self.0.clamp(0.0, 1.0)
+    }
+
+    fn snapshot_state(&self) -> Option<BodyState> {
+        Some(BodyState::Fraction(self.0))
     }
 }
 
@@ -69,11 +110,27 @@ impl UniformBody {
             rng: SplitMix64::seed_from_u64(seed),
         }
     }
+
+    /// Resumes a body from a captured PRNG word (see
+    /// [`SplitMix64::state`]); the demand stream continues exactly where
+    /// the captured body left off.
+    #[must_use]
+    pub fn from_state(rng_state: u64) -> UniformBody {
+        UniformBody {
+            rng: SplitMix64::seed_from_u64(rng_state),
+        }
+    }
 }
 
 impl TaskBody for UniformBody {
     fn run(&mut self, _invocation: u64, spec: &Task) -> Work {
         spec.wcet() * self.rng.range_f64_inclusive(0.0, 1.0)
+    }
+
+    fn snapshot_state(&self) -> Option<BodyState> {
+        Some(BodyState::Uniform {
+            rng_state: self.rng.state(),
+        })
     }
 }
 
@@ -104,6 +161,19 @@ impl<B: TaskBody> TaskBody for ColdStartBody<B> {
         } else {
             base
         }
+    }
+
+    fn on_invocation_complete(&mut self, invocation: u64, now: Time) {
+        self.inner.on_invocation_complete(invocation, now);
+    }
+
+    fn snapshot_state(&self) -> Option<BodyState> {
+        self.inner
+            .snapshot_state()
+            .map(|inner| BodyState::ColdStart {
+                surcharge: self.surcharge,
+                inner: Box::new(inner),
+            })
     }
 }
 

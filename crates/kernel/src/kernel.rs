@@ -138,6 +138,45 @@ pub enum KernelEvent {
         /// Whether the kernel is degraded after this transition.
         active: bool,
     },
+    /// A mode-change transaction passed validation and was staged to commit
+    /// at the next safe point (quiescent instant).
+    ModeChangeStaged {
+        /// Number of operations in the transaction.
+        ops: usize,
+    },
+    /// A staged mode-change transaction committed atomically.
+    ModeChangeCommitted {
+        /// The kernel's mode epoch after the commit (monotonic).
+        epoch: u64,
+    },
+    /// A staged mode-change transaction failed re-validation at its safe
+    /// point (the set changed between staging and commit) and was dropped.
+    ModeChangeRejected {
+        /// Worst-case utilization the rejected set would have had.
+        utilization: f64,
+    },
+    /// The overload governor stretched task periods to contain demand that
+    /// exceeds capacity at `f_max` (elastic degradation, first resort
+    /// before shedding).
+    GovernorStretched {
+        /// How many tasks were stretched.
+        stretched: usize,
+        /// The period multiplier applied to them.
+        factor: f64,
+    },
+    /// The governor restored every stretched task to its nominal period
+    /// (hysteresis: the nominal set passes admission again with headroom).
+    GovernorRelaxed,
+    /// A misbehaving task's computing bound was renegotiated in place to
+    /// its observed peak as part of governor containment.
+    Renegotiated {
+        /// The task.
+        handle: TaskHandle,
+        /// The new bound.
+        bound: Work,
+    },
+    /// A checkpoint of the full kernel state was taken.
+    SnapshotTaken,
 }
 
 /// Errors from the admission and lifecycle API.
@@ -153,6 +192,11 @@ pub enum KernelError {
     },
     /// No task with that handle exists.
     NoSuchTask(TaskHandle),
+    /// A mode-change transaction is already staged and has not reached its
+    /// safe point yet; only one transaction may be in flight at a time.
+    ModeChangeBusy,
+    /// The mode-change transaction contained no operations.
+    EmptyModeChange,
 }
 
 impl fmt::Display for KernelError {
@@ -165,77 +209,127 @@ impl fmt::Display for KernelError {
                  (worst-case utilization {utilization:.3})"
             ),
             KernelError::NoSuchTask(h) => write!(f, "no task with handle {h}"),
+            KernelError::ModeChangeBusy => {
+                write!(f, "a mode-change transaction is already staged")
+            }
+            KernelError::EmptyModeChange => {
+                write!(f, "mode-change transaction has no operations")
+            }
         }
     }
 }
 
 impl std::error::Error for KernelError {}
 
-struct Entry {
-    handle: TaskHandle,
+pub(crate) struct Entry {
+    pub(crate) handle: TaskHandle,
     /// The scheduling spec (WCET possibly inflated by the switch-stall
-    /// budget).
-    spec: Task,
-    /// The spec as declared by the user; bodies are invoked against this
-    /// one so their demand is unaffected by overhead accounting.
-    user_spec: Task,
-    body: Box<dyn TaskBody>,
-    invocation: u64,
-    state: InvState,
-    executed: Work,
-    actual: Work,
-    deadline: Time,
-    next_release: Time,
-    deferred: bool,
-    overrun_logged: bool,
+    /// budget, period possibly stretched by the overload governor).
+    pub(crate) spec: Task,
+    /// The spec as declared by the user (governor stretch applied); bodies
+    /// are invoked against this one so their demand is unaffected by
+    /// overhead accounting.
+    pub(crate) user_spec: Task,
+    /// The user-declared period before any governor stretching — what the
+    /// task returns to when the governor relaxes.
+    pub(crate) nominal_period: Time,
+    pub(crate) body: Box<dyn TaskBody>,
+    pub(crate) invocation: u64,
+    pub(crate) state: InvState,
+    pub(crate) executed: Work,
+    pub(crate) actual: Work,
+    pub(crate) deadline: Time,
+    pub(crate) next_release: Time,
+    pub(crate) deferred: bool,
+    pub(crate) overrun_logged: bool,
     /// Largest actual demand any invocation of this task has shown.
-    observed_peak: Work,
+    pub(crate) observed_peak: Work,
     /// Marked for shedding at the next event-processing pass (degraded
     /// mode only).
-    pending_shed: bool,
+    pub(crate) pending_shed: bool,
+}
+
+impl Entry {
+    /// Whether the governor currently has this task's period stretched
+    /// beyond its nominal value.
+    pub(crate) fn stretched(&self) -> bool {
+        self.user_spec.period().as_ms() > self.nominal_period.as_ms() + EPS
+    }
 }
 
 /// A task evicted in degraded mode, waiting to be re-admitted through the
 /// ordinary admission test with its bound renegotiated to what it actually
 /// used.
-struct ShedTask {
-    handle: TaskHandle,
-    period: Time,
+pub(crate) struct ShedTask {
+    pub(crate) handle: TaskHandle,
+    pub(crate) period: Time,
     /// The user-declared bound it was first admitted with.
-    wcet: Work,
-    observed_peak: Work,
-    invocation: u64,
-    body: Box<dyn TaskBody>,
+    pub(crate) wcet: Work,
+    pub(crate) observed_peak: Work,
+    pub(crate) invocation: u64,
+    pub(crate) body: Box<dyn TaskBody>,
     /// Next time the kernel will retry admission.
-    next_attempt: Time,
+    pub(crate) next_attempt: Time,
+}
+
+/// The overload governor's summarized condition, surfaced through procfs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorState {
+    /// Every task runs at its nominal period; no one is shed.
+    Nominal,
+    /// At least one task runs at an elastically stretched period.
+    Stretched,
+    /// At least one task is shed (stretching could not contain the
+    /// overload); the dominant state when both apply.
+    Shedding,
+}
+
+impl fmt::Display for GovernorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GovernorState::Nominal => "nominal",
+            GovernorState::Stretched => "stretched",
+            GovernorState::Shedding => "shedding",
+        })
+    }
 }
 
 /// The RT-DVS kernel: periodic task runtime + pluggable policy module +
 /// DVS-capable virtual CPU.
 pub struct RtKernel {
-    machine: Machine,
-    policy: Box<dyn DvsPolicy + Send>,
-    entries: Vec<Entry>,
-    cached_set: Option<TaskSet>,
-    now: Time,
-    meter: EnergyMeter,
-    trace: Option<Trace>,
-    applied: Option<PointIdx>,
-    stall_until: Time,
-    switches: u64,
-    switch_overhead: Option<SwitchOverhead>,
+    pub(crate) machine: Machine,
+    pub(crate) policy: Box<dyn DvsPolicy + Send>,
+    /// The policy kind the loaded module was built from, kept for
+    /// serialization (a `dyn DvsPolicy` cannot name its own constructor).
+    pub(crate) policy_kind: PolicyKind,
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) cached_set: Option<TaskSet>,
+    pub(crate) now: Time,
+    pub(crate) meter: EnergyMeter,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) applied: Option<PointIdx>,
+    pub(crate) stall_until: Time,
+    pub(crate) switches: u64,
+    pub(crate) switch_overhead: Option<SwitchOverhead>,
     /// When set, admission inflates every task's WCET by two worst-case
     /// stalls (§2.5: overheads are "accounted for, and added to, the
     /// worst-case task computation times").
-    account_switch_overhead: bool,
-    defer_new_tasks: bool,
+    pub(crate) account_switch_overhead: bool,
+    pub(crate) defer_new_tasks: bool,
     /// Graceful degradation: shed misbehaving tasks instead of letting
     /// them break everyone's deadlines. Off by default (the paper's
     /// prototype only *logs* overruns).
-    degrade_on_fault: bool,
-    shed: Vec<ShedTask>,
-    log: Vec<(Time, KernelEvent)>,
-    next_handle: u64,
+    pub(crate) degrade_on_fault: bool,
+    pub(crate) shed: Vec<ShedTask>,
+    pub(crate) log: Vec<(Time, KernelEvent)>,
+    pub(crate) next_handle: u64,
+    /// Monotonic counter bumped by every committed mode change.
+    pub(crate) mode_epoch: u64,
+    /// The staged (validated but not yet committed) mode-change
+    /// transaction, if any.
+    pub(crate) pending_change: Option<crate::modechange::StagedChange>,
+    /// When the last checkpoint was taken, if ever.
+    pub(crate) last_snapshot_at: Option<Time>,
 }
 
 impl RtKernel {
@@ -248,6 +342,7 @@ impl RtKernel {
         let mut kernel = RtKernel {
             machine,
             policy: kind.build(),
+            policy_kind: kind,
             entries: Vec::new(),
             cached_set: None,
             now: Time::ZERO,
@@ -263,6 +358,9 @@ impl RtKernel {
             shed: Vec::new(),
             log: Vec::new(),
             next_handle: 1,
+            mode_epoch: 0,
+            pending_change: None,
+            last_snapshot_at: None,
         };
         kernel.log.push((
             Time::ZERO,
@@ -404,6 +502,39 @@ impl RtKernel {
         !self.shed.is_empty()
     }
 
+    /// The mode epoch: how many mode-change transactions have committed.
+    /// Monotonic; bumped only at commit, never by rejections.
+    #[must_use]
+    pub fn mode_epoch(&self) -> u64 {
+        self.mode_epoch
+    }
+
+    /// The overload governor's current state. Shedding dominates
+    /// stretching when both apply.
+    #[must_use]
+    pub fn governor(&self) -> GovernorState {
+        if !self.shed.is_empty() {
+            GovernorState::Shedding
+        } else if self.entries.iter().any(Entry::stretched) {
+            GovernorState::Stretched
+        } else {
+            GovernorState::Nominal
+        }
+    }
+
+    /// When the last checkpoint was taken, if ever.
+    #[must_use]
+    pub fn last_snapshot_at(&self) -> Option<Time> {
+        self.last_snapshot_at
+    }
+
+    /// Whether a validated mode-change transaction is staged, waiting for
+    /// its safe point.
+    #[must_use]
+    pub fn pending_mode_change(&self) -> bool {
+        self.pending_change.is_some()
+    }
+
     /// The currently shed tasks, as `(handle, observed peak demand)`.
     #[must_use]
     pub fn shed_tasks(&self) -> Vec<(TaskHandle, Work)> {
@@ -463,10 +594,11 @@ impl RtKernel {
             self.defer_new_tasks && self.entries.iter().any(|e| e.state == InvState::Active);
         let handle = TaskHandle(self.next_handle);
         self.next_handle += 1;
-        self.entries.push(Entry {
+        self.insert_entry(Entry {
             handle,
             spec,
             user_spec,
+            nominal_period: period,
             body,
             invocation: 0,
             state: InvState::Inactive,
@@ -515,7 +647,7 @@ impl RtKernel {
             .iter()
             .position(|e| e.handle == handle)
             .ok_or(KernelError::NoSuchTask(handle))?;
-        self.entries.remove(idx);
+        let _ = self.take_entry(idx);
         self.log.push((self.now, KernelEvent::Removed { handle }));
         self.rebuild_and_reinit();
         Ok(())
@@ -527,6 +659,7 @@ impl RtKernel {
     /// virtual time, so guarantees resume immediately.
     pub fn load_policy(&mut self, kind: PolicyKind) {
         self.policy = kind.build();
+        self.policy_kind = kind;
         self.log.push((
             self.now,
             KernelEvent::PolicyLoaded {
@@ -540,7 +673,7 @@ impl RtKernel {
     /// policy: init with the new set, then a synthetic release callback for
     /// every in-flight invocation so stateful policies (ccRM) rebuild their
     /// pacing allotments from the real remaining work.
-    fn rebuild_and_reinit(&mut self) {
+    pub(crate) fn rebuild_and_reinit(&mut self) {
         self.cached_set = if self.entries.is_empty() {
             None
         } else {
@@ -674,9 +807,21 @@ impl RtKernel {
         self.notify(idx, true);
     }
 
-    /// Evicts every entry marked `pending_shed`, stashing it for periodic
-    /// re-admission attempts. Returns whether anything was shed.
+    /// Handles every entry marked `pending_shed`. First resort: the
+    /// overload governor renegotiates the misbehaving bounds and, when the
+    /// renegotiated set no longer fits at nominal rates, contains the
+    /// overload by elastic period stretching in criticality order. Only
+    /// when stretching cannot help (or the set still fits at nominal, where
+    /// the ordinary one-period shed/readmit penalty applies) are tasks
+    /// evicted and stashed for periodic re-admission attempts. Returns
+    /// whether anything changed.
     fn shed_pending(&mut self) -> bool {
+        if !self.entries.iter().any(|e| e.pending_shed) {
+            return false;
+        }
+        if self.try_stretch_containment() {
+            return true;
+        }
         let mut any = false;
         let mut i = 0;
         while i < self.entries.len() {
@@ -684,7 +829,7 @@ impl RtKernel {
                 i += 1;
                 continue;
             }
-            let e = self.entries.remove(i);
+            let e = self.take_entry(i);
             if self.shed.is_empty() {
                 self.log
                     .push((self.now, KernelEvent::Degraded { active: true }));
@@ -709,6 +854,141 @@ impl RtKernel {
             self.rebuild_and_reinit();
         }
         any
+    }
+
+    /// The overload governor's first resort: when the set with misbehaving
+    /// bounds renegotiated to observed peaks no longer fits at nominal
+    /// rates, searches [`rtdvs_core::analysis::elastic_stretch_assignment`]
+    /// for the minimal period stretch (least-critical tasks first — the
+    /// most recently admitted handles) that makes it fit, and applies it in
+    /// place: no task leaves the set, the misbehaving invocation is
+    /// abandoned, and everyone re-passes admission at the stretched rates.
+    ///
+    /// Returns `false` without touching anything when the renegotiated set
+    /// still fits at nominal rates (the ordinary shed/readmit penalty is
+    /// the right tool there) or when no ladder assignment helps.
+    fn try_stretch_containment(&mut self) -> bool {
+        let stall = self.stall_budget();
+        let nominal: Option<Vec<Task>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let bound = if e.pending_shed {
+                    e.user_spec.wcet().max(e.observed_peak)
+                } else {
+                    e.user_spec.wcet()
+                };
+                Task::new(e.nominal_period, bound).ok()
+            })
+            .collect();
+        // A bound beyond even the nominal period is out of the elastic
+        // model's reach; leave it to the shed path.
+        let Some(nominal) = nominal else { return false };
+        let policy = &self.policy;
+        let feasible = |tasks: &[Task]| -> bool {
+            let specs: Option<Vec<Task>> = tasks
+                .iter()
+                .map(|t| t.with_inflated_wcet(stall).ok())
+                .collect();
+            match specs.and_then(|s| TaskSet::new(s).ok()) {
+                Some(candidate) => policy.guarantees(&candidate),
+                None => false,
+            }
+        };
+        if feasible(&nominal) {
+            return false;
+        }
+        // Least critical first: the highest (most recently issued) handles.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| self.entries[b].handle.cmp(&self.entries[a].handle));
+        let Some(factors) =
+            rtdvs_core::analysis::elastic_stretch_assignment(&nominal, &order, |set| {
+                feasible(set.tasks())
+            })
+        else {
+            return false;
+        };
+        let stretched = factors.iter().filter(|&&f| f > 1.0).count();
+        let factor = factors.iter().copied().fold(1.0, f64::max);
+        let mut renegotiated: Vec<(TaskHandle, Work)> = Vec::new();
+        for i in 0..self.entries.len() {
+            let period = Time::from_ms(self.entries[i].nominal_period.as_ms() * factors[i]);
+            let bound = nominal[i].wcet();
+            let user_spec = Task::new(period, bound)
+                .expect("candidate validated by elastic_stretch_assignment");
+            let spec = user_spec
+                .with_inflated_wcet(stall)
+                .expect("candidate validated by elastic_stretch_assignment");
+            let e = &mut self.entries[i];
+            if e.pending_shed {
+                if bound.as_ms() > e.user_spec.wcet().as_ms() + EPS {
+                    renegotiated.push((e.handle, bound));
+                }
+                // Abandon the missed invocation, if one is outstanding; the
+                // task re-releases at its contained rate.
+                if e.state == InvState::Active {
+                    e.executed = e.actual;
+                    e.state = InvState::Completed;
+                }
+                e.pending_shed = false;
+                e.overrun_logged = false;
+            }
+            e.user_spec = user_spec;
+            e.spec = spec;
+        }
+        for (handle, bound) in renegotiated {
+            self.log
+                .push((self.now, KernelEvent::Renegotiated { handle, bound }));
+        }
+        self.log.push((
+            self.now,
+            KernelEvent::GovernorStretched { stretched, factor },
+        ));
+        self.rebuild_and_reinit();
+        true
+    }
+
+    /// Hysteresis half of the governor, run at quiescent instants: when
+    /// every stretched task would fit again at its nominal period *with
+    /// utilization headroom* (so a marginal set does not flap between
+    /// stretched and nominal), restore the nominal rates.
+    fn relax_stretch(&mut self) -> bool {
+        /// Utilization ceiling for relaxing back to nominal.
+        const RELAX_HEADROOM: f64 = 0.95;
+        if !self.entries.iter().any(Entry::stretched)
+            || !self.shed.is_empty()
+            || self.entries.iter().any(|e| e.pending_shed)
+        {
+            return false;
+        }
+        let stall = self.stall_budget();
+        let specs: Option<Vec<Task>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Task::new(e.nominal_period, e.user_spec.wcet())
+                    .ok()
+                    .and_then(|t| t.with_inflated_wcet(stall).ok())
+            })
+            .collect();
+        let Some(specs) = specs else { return false };
+        let Ok(candidate) = TaskSet::new(specs) else {
+            return false;
+        };
+        if !self.policy.guarantees(&candidate) || candidate.total_utilization() > RELAX_HEADROOM {
+            return false;
+        }
+        for e in &mut self.entries {
+            let user_spec = Task::new(e.nominal_period, e.user_spec.wcet())
+                .expect("validated by the relax candidate");
+            e.user_spec = user_spec;
+            e.spec = user_spec
+                .with_inflated_wcet(stall)
+                .expect("validated by the relax candidate");
+        }
+        self.log.push((self.now, KernelEvent::GovernorRelaxed));
+        self.rebuild_and_reinit();
+        true
     }
 
     /// Retries admission for every shed task whose attempt time is due,
@@ -742,10 +1022,11 @@ impl RtKernel {
             let t = self.shed.remove(i);
             let deferred =
                 self.defer_new_tasks && self.entries.iter().any(|e| e.state == InvState::Active);
-            self.entries.push(Entry {
+            self.insert_entry(Entry {
                 handle: t.handle,
                 spec,
                 user_spec,
+                nominal_period: period,
                 body: t.body,
                 invocation: t.invocation,
                 state: InvState::Inactive,
@@ -788,12 +1069,20 @@ impl RtKernel {
                     progressed = true;
                 }
             }
+            // A quiescent instant — no invocation in flight — is the safe
+            // point for every whole-set change: staged mode changes commit,
+            // the governor relaxes, and deferred first releases fire.
+            let quiescent = !self.entries.iter().any(|e| e.state == InvState::Active);
+            if quiescent {
+                if self.pending_change.is_some() {
+                    progressed |= crate::modechange::commit_staged(self);
+                }
+                progressed |= self.relax_stretch();
+            }
             // Deferred tasks release once nothing is in flight (§4.3: "the
             // effects of past DVS decisions, based on the old task set,
             // will have expired").
-            if !self.entries.iter().any(|e| e.state == InvState::Active)
-                && self.entries.iter().any(|e| e.deferred)
-            {
+            if quiescent && self.entries.iter().any(|e| e.deferred) {
                 for e in &mut self.entries {
                     if e.deferred {
                         e.deferred = false;
@@ -942,15 +1231,23 @@ impl RtKernel {
     #[must_use]
     pub fn status(&self) -> String {
         let mut s = String::new();
+        let last_snapshot = match self.last_snapshot_at {
+            Some(t) => format!("{:.3}ms", t.as_ms()),
+            None => "never".to_string(),
+        };
         let _ = writeln!(
             s,
-            "rtdvs: t={:.3}ms policy={} freq={:.3} energy={:.3} overruns={} degraded={}",
+            "rtdvs: t={:.3}ms policy={} freq={:.3} energy={:.3} overruns={} degraded={} \
+             epoch={} governor={} last_snapshot={}",
             self.now.as_ms(),
             self.policy.name(),
             self.current_frequency(),
             self.energy(),
             self.overruns(),
             if self.degraded() { "yes" } else { "no" },
+            self.mode_epoch,
+            self.governor(),
+            last_snapshot,
         );
         for e in &self.entries {
             let state = match (e.deferred, e.state) {
@@ -959,9 +1256,14 @@ impl RtKernel {
                 (false, InvState::Active) => "active",
                 (false, InvState::Completed) => "waiting",
             };
+            let stretch = if e.stretched() {
+                format!(" stretched(nominal={:.3}ms)", e.nominal_period.as_ms())
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 s,
-                "  {}: P={:.3}ms C={:.3}ms inv={} state={} exec={:.3} deadline={:.3}ms",
+                "  {}: P={:.3}ms C={:.3}ms inv={} state={} exec={:.3} deadline={:.3}ms{}",
                 e.handle,
                 e.spec.period().as_ms(),
                 e.spec.wcet().as_ms(),
@@ -969,6 +1271,7 @@ impl RtKernel {
                 state,
                 e.executed.as_ms(),
                 e.deadline.as_ms(),
+                stretch,
             );
         }
         for shed in &self.shed {

@@ -21,6 +21,10 @@
 //! frequency                                   -> "<normalized freq>"
 //! overruns                                    -> "<count>"
 //! degraded                                    -> "yes" | "no"
+//! epoch                                       -> "<mode epoch>"
+//! governor                                    -> "nominal" | "stretched" | "shedding"
+//! last-snapshot                               -> "never" | "<ms>"
+//! checkpoint                                  -> "ok <bytes> bytes"
 //! ```
 //!
 //! `<fraction>` gives the registered task's actual per-invocation demand
@@ -140,6 +144,16 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
         ("frequency", []) => Ok(format!("{:.3}", kernel.current_frequency())),
         ("overruns", []) => Ok(format!("{}", kernel.overruns())),
         ("degraded", []) => Ok(if kernel.degraded() { "yes" } else { "no" }.to_owned()),
+        ("epoch", []) => Ok(format!("{}", kernel.mode_epoch())),
+        ("governor", []) => Ok(kernel.governor().to_string()),
+        ("last-snapshot", []) => Ok(match kernel.last_snapshot_at() {
+            None => "never".to_owned(),
+            Some(t) => format!("{:.3}", t.as_ms()),
+        }),
+        ("checkpoint", []) => {
+            let snap = kernel.checkpoint().map_err(|e| e.to_string())?;
+            Ok(format!("ok {} bytes", snap.as_text().len()))
+        }
         _ => Err(format!("unknown command {line:?}")),
     }
 }
@@ -232,6 +246,23 @@ mod tests {
         .unwrap();
         execute(&mut k, "run 100");
         assert_eq!(execute(&mut k, "overruns"), "1");
+    }
+
+    #[test]
+    fn lifecycle_fields_read_back() {
+        let mut k = kernel();
+        assert_eq!(execute(&mut k, "epoch"), "0");
+        assert_eq!(execute(&mut k, "governor"), "nominal");
+        assert_eq!(execute(&mut k, "last-snapshot"), "never");
+        execute(&mut k, "register 10 3 0.9");
+        execute(&mut k, "run 25");
+        let reply = execute(&mut k, "checkpoint");
+        assert!(
+            reply.starts_with("ok ") && reply.ends_with(" bytes"),
+            "{reply}"
+        );
+        assert_eq!(execute(&mut k, "last-snapshot"), "25.000");
+        assert!(execute(&mut k, "status").contains("last_snapshot=25.000ms"));
     }
 
     #[test]

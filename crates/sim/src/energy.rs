@@ -47,6 +47,43 @@ impl EnergyMeter {
         }
     }
 
+    /// Reconstructs a meter from previously captured accounting — the
+    /// checkpoint/restore counterpart of [`EnergyMeter::new`]. The per-point
+    /// vectors must have equal lengths (the machine's point count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_level` is negative or not finite, or if the per-point
+    /// vectors disagree on length.
+    #[must_use]
+    pub fn from_parts(
+        idle_level: f64,
+        busy_energy: f64,
+        idle_energy: f64,
+        busy_time: Vec<Time>,
+        idle_time: Vec<Time>,
+        work_done: Vec<Work>,
+        stall_time: Time,
+    ) -> EnergyMeter {
+        assert!(
+            idle_level.is_finite() && idle_level >= 0.0,
+            "idle level must be a non-negative finite ratio, got {idle_level}"
+        );
+        assert!(
+            busy_time.len() == idle_time.len() && idle_time.len() == work_done.len(),
+            "per-point accounting vectors must have equal lengths"
+        );
+        EnergyMeter {
+            idle_level,
+            busy_energy,
+            idle_energy,
+            busy_time,
+            idle_time,
+            work_done,
+            stall_time,
+        }
+    }
+
     /// Charges `duration` of execution at `point`, retiring
     /// `freq · duration` work.
     pub fn charge_busy(&mut self, machine: &Machine, point: PointIdx, duration: Time) {
@@ -209,5 +246,46 @@ mod tests {
     #[should_panic(expected = "idle level")]
     fn rejects_negative_idle_level() {
         let _ = EnergyMeter::new(3, -0.5);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_live_meter() {
+        let m = Machine::machine0();
+        let mut meter = EnergyMeter::new(m.len(), 0.3);
+        meter.charge_busy(&m, 1, Time::from_ms(2.0));
+        meter.charge_idle(&m, 0, Time::from_ms(5.0));
+        meter.charge_stall(Time::from_ms(0.2));
+        let copy = EnergyMeter::from_parts(
+            meter.idle_level(),
+            meter.busy_energy(),
+            meter.idle_energy(),
+            meter.busy_time().to_vec(),
+            meter.idle_time().to_vec(),
+            meter.work_done().to_vec(),
+            meter.stall_time(),
+        );
+        assert_eq!(
+            copy.total_energy().to_bits(),
+            meter.total_energy().to_bits()
+        );
+        // Both halves keep accruing identically.
+        let (mut a, mut b) = (meter, copy);
+        a.charge_busy(&m, 2, Time::from_ms(1.0));
+        b.charge_busy(&m, 2, Time::from_ms(1.0));
+        assert_eq!(a.total_energy().to_bits(), b.total_energy().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn from_parts_rejects_mismatched_vectors() {
+        let _ = EnergyMeter::from_parts(
+            0.0,
+            0.0,
+            0.0,
+            vec![Time::ZERO; 2],
+            vec![Time::ZERO; 3],
+            vec![Work::ZERO; 2],
+            Time::ZERO,
+        );
     }
 }

@@ -195,6 +195,69 @@ fn cold_start_warms_up() {
     }
 }
 
+/// The procfs lifecycle surfaces — `epoch`, `governor`, `last-snapshot` —
+/// track mode-change commits, governor stretching, and checkpoints taken
+/// through the same text interface.
+#[test]
+fn procfs_surfaces_track_mode_lifecycle() {
+    use rtdvs::kernel::{execute, ModeChange};
+
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+    let h = kernel
+        .spawn(ms(8.0), w(3.0), Box::new(FractionBody(0.8)))
+        .unwrap();
+    kernel
+        .spawn(ms(10.0), w(3.0), Box::new(FractionBody(0.8)))
+        .unwrap();
+    assert_eq!(execute(&mut kernel, "epoch"), "0");
+    assert_eq!(execute(&mut kernel, "governor"), "nominal");
+    assert_eq!(execute(&mut kernel, "last-snapshot"), "never");
+
+    // A committed reparam bumps the epoch.
+    kernel.run_until(ms(40.0));
+    kernel
+        .submit_mode_change(ModeChange::new().reparam(h, ms(12.0), w(3.0)))
+        .unwrap();
+    kernel.run_until(ms(100.0));
+    assert_eq!(execute(&mut kernel, "epoch"), "1");
+    assert_eq!(execute(&mut kernel, "governor"), "nominal");
+
+    // An over-capacity admit with `or_degrade` commits stretched: the
+    // governor surface flips, and the epoch keeps counting.
+    let receipt = kernel
+        .submit_mode_change(
+            ModeChange::new()
+                .admit(ms(10.0), w(6.0), Box::new(FractionBody(0.8)))
+                .or_degrade(),
+        )
+        .unwrap();
+    kernel.run_until(ms(200.0));
+    assert_eq!(execute(&mut kernel, "epoch"), "2");
+    assert_eq!(execute(&mut kernel, "governor"), "stretched");
+    assert_eq!(
+        kernel.misses().count(),
+        0,
+        "stretching must contain the overload"
+    );
+
+    // A checkpoint through the text interface stamps `last-snapshot`.
+    let reply = execute(&mut kernel, "checkpoint");
+    assert!(
+        reply.starts_with("ok ") && reply.ends_with(" bytes"),
+        "{reply}"
+    );
+    assert_eq!(execute(&mut kernel, "last-snapshot"), "200.000");
+
+    // Retiring the stretched admit restores nominal rates.
+    kernel
+        .submit_mode_change(ModeChange::new().retire(receipt.admitted[0]))
+        .unwrap();
+    kernel.run_until(ms(300.0));
+    assert_eq!(execute(&mut kernel, "epoch"), "3");
+    assert_eq!(execute(&mut kernel, "governor"), "nominal");
+    assert_eq!(kernel.misses().count(), 0);
+}
+
 /// The status interface always reflects the live state.
 #[test]
 fn status_tracks_time_and_frequency() {

@@ -307,6 +307,101 @@ fn manual_pin_at_max_equals_plain() {
     });
 }
 
+/// A rejected mode-change transaction leaves kernel *and* policy state
+/// byte-identical, proven bitwise: a kernel that suffers the rejection is
+/// checkpointed against a twin that replayed the same seeded op sequence
+/// without it, and the two snapshot texts must match exactly. Six policies
+/// × 200 sequences = 1200 cases, each covering a different rejection
+/// flavor (empty transaction, unknown handle, malformed task, demand over
+/// capacity — or `ModeChangeBusy` when the sequence left a transaction
+/// staged).
+#[test]
+fn rejected_mode_change_is_bitwise_neutral() {
+    use rtdvs::kernel::{ModeChange, RtKernel, SnapshotError, TaskHandle, UniformBody};
+    use rtdvs::Work;
+
+    const SEQUENCES_PER_POLICY: u64 = 200;
+    let ms = Time::from_ms;
+    let w = Work::from_ms;
+    for (pi, kind) in PolicyKind::paper_six().into_iter().enumerate() {
+        for case in 0..SEQUENCES_PER_POLICY {
+            let mut r = SplitMix64::seed_from_u64(0xB17_4E47 ^ case).split(pi as u64);
+            // Draw the whole scenario up front so both twins replay it
+            // identically.
+            let n = 1 + r.index(3);
+            let tasks: Vec<(f64, f64, u64)> = (0..n)
+                .map(|_| {
+                    let p = r.range_f64(8.0, 30.0);
+                    let c = p * r.range_f64(0.05, 0.55 / n as f64);
+                    (p, c, r.next_u64())
+                })
+                .collect();
+            let warm_ms = r.range_f64(10.0, 120.0);
+            let valid_reparam_first = r.index(2) == 0;
+            let settle_ms = r.range_f64(5.0, 40.0);
+            let flavor = r.index(4);
+
+            let spin = |reject: bool| -> String {
+                let mut k = RtKernel::new(Machine::machine0(), kind);
+                let mut handles = Vec::new();
+                for &(p, c, seed) in &tasks {
+                    handles.push(
+                        k.spawn(ms(p), w(c), Box::new(UniformBody::new(seed)))
+                            .expect("drawn set is admissible (U ≤ 0.55)"),
+                    );
+                }
+                k.run_until(ms(warm_ms));
+                if valid_reparam_first {
+                    let (p, c, _) = tasks[0];
+                    let _ = k.submit_mode_change(ModeChange::new().reparam(
+                        handles[0],
+                        ms(p * 1.25),
+                        w(c),
+                    ));
+                    k.run_until(ms(warm_ms + settle_ms));
+                }
+                if reject {
+                    let doomed = match flavor {
+                        0 => ModeChange::new(),
+                        1 => ModeChange::new().retire(TaskHandle::from_raw(9999)),
+                        2 => {
+                            ModeChange::new().admit(ms(5.0), w(9.0), Box::new(UniformBody::new(1)))
+                        }
+                        _ => {
+                            ModeChange::new().admit(ms(10.0), w(9.9), Box::new(UniformBody::new(1)))
+                        }
+                    };
+                    assert!(
+                        k.submit_mode_change(doomed).is_err(),
+                        "case {case}: doomed transaction was accepted"
+                    );
+                }
+                // The sequence may have left a valid transaction staged; a
+                // checkpoint refuses then, so run to the next safe point
+                // (identically on both twins).
+                let mut snap = k.checkpoint();
+                let mut patience = 0;
+                while matches!(snap, Err(SnapshotError::PendingModeChange)) && patience < 20 {
+                    k.run_for(ms(50.0));
+                    snap = k.checkpoint();
+                    patience += 1;
+                }
+                snap.expect("checkpoint succeeds at a safe point")
+                    .as_text()
+                    .to_owned()
+            };
+            let with_rejection = spin(true);
+            let control = spin(false);
+            assert_eq!(
+                with_rejection,
+                control,
+                "case {case}: {}: a rejected transaction left a trace",
+                kind.name()
+            );
+        }
+    }
+}
+
 /// The generator hits its utilization target and respects C ≤ P.
 #[test]
 fn generator_respects_spec() {

@@ -1,0 +1,150 @@
+//! Crash-recovery harness: run the paper's Table 2 set, checkpoint on a
+//! fixed cadence, kill the kernel at a seeded random instant in the second
+//! hyperperiod, restore from the last snapshot, and prove the restored run
+//! misses no deadline a continuous run would have met — with the stitched
+//! (pre-crash + post-restore) event log passing the lifecycle audit.
+
+use rtdvs::audit::audit_kernel_log;
+use rtdvs::kernel::{ModeChange, RtKernel, Snapshot, TaskHandle, UniformBody};
+use rtdvs::taskgen::SplitMix64;
+use rtdvs::{Machine, PolicyKind, Time, Work};
+
+/// The paper's Table 2 set (period, WCET in ms); hyperperiod 280 ms.
+const TABLE2: [(f64, f64); 3] = [(8.0, 3.0), (10.0, 3.0), (14.0, 1.0)];
+/// Two hyperperiods.
+const HORIZON_MS: f64 = 560.0;
+/// Checkpoint cadence; deliberately co-prime with every Table 2 period so
+/// snapshots land mid-invocation, not at convenient idle instants.
+const CHECKPOINT_MS: f64 = 33.0;
+
+fn ms(v: f64) -> Time {
+    Time::from_ms(v)
+}
+
+fn w(v: f64) -> Work {
+    Work::from_ms(v)
+}
+
+fn build(kind: PolicyKind, seed: u64) -> (RtKernel, Vec<TaskHandle>) {
+    let mut kernel = RtKernel::new(Machine::machine0(), kind);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let handles = TABLE2
+        .iter()
+        .map(|&(p, c)| {
+            kernel
+                .spawn(ms(p), w(c), Box::new(UniformBody::new(rng.next_u64())))
+                .expect("Table 2 is admissible under every paper policy")
+        })
+        .collect();
+    (kernel, handles)
+}
+
+/// Runs the kernel to `kill`, checkpointing every [`CHECKPOINT_MS`], and
+/// returns the last snapshot taken at or before the kill instant.
+fn run_to_crash(kernel: &mut RtKernel, kill: Time) -> Snapshot {
+    let mut last: Option<Snapshot> = None;
+    let mut t = 0.0;
+    while t <= kill.as_ms() {
+        kernel.run_until(ms(t));
+        last = Some(kernel.checkpoint().expect("checkpoint on cadence"));
+        t += CHECKPOINT_MS;
+    }
+    kernel.run_until(kill);
+    last.expect("at least the t=0 checkpoint was taken")
+}
+
+/// For every paper policy: the continuous run finishes Table 2 clean, and
+/// so does the crashed-and-restored run — zero misses, audit-clean
+/// stitched trace.
+#[test]
+fn crash_and_restore_misses_nothing_for_every_policy() {
+    for (i, kind) in PolicyKind::paper_six().into_iter().enumerate() {
+        let body_seed = 0x7AB1_E2C0 + i as u64;
+        let mut instants = SplitMix64::seed_from_u64(0xC4A5_4ED5).split(i as u64);
+        // A seeded random kill instant somewhere in the second hyperperiod.
+        let kill = ms(instants.range_f64(280.0, HORIZON_MS));
+
+        // The control: the same workload, never interrupted.
+        let (mut control, _) = build(kind, body_seed);
+        control.run_until(ms(HORIZON_MS));
+        assert_eq!(
+            control.misses().count(),
+            0,
+            "{}: control run missed",
+            kind.name()
+        );
+
+        // The victim: checkpointed on cadence, killed mid-hyperperiod.
+        let (mut victim, _) = build(kind, body_seed);
+        let snapshot = run_to_crash(&mut victim, kill);
+        drop(victim); // the crash — everything after the last checkpoint is gone
+
+        let (mut restored, servers) = snapshot.restore().expect("snapshot restores");
+        assert!(servers.is_empty(), "no polling servers in this workload");
+        assert!(
+            restored.now() <= kill,
+            "{}: restored clock {} is past the kill instant {}",
+            kind.name(),
+            restored.now(),
+            kill
+        );
+        restored.run_until(ms(HORIZON_MS));
+        assert_eq!(
+            restored.misses().count(),
+            0,
+            "{}: restored run missed a deadline the continuous run met (killed at {kill})",
+            kind.name()
+        );
+        let findings = audit_kernel_log(restored.log());
+        assert!(
+            findings.is_empty(),
+            "{}: stitched trace has lifecycle findings: {findings:?}",
+            kind.name()
+        );
+    }
+}
+
+/// Restoring the same snapshot twice and running both replicas to the
+/// horizon produces bit-identical logs and energy.
+#[test]
+fn restore_is_deterministic() {
+    let (mut victim, _) = build(PolicyKind::CcEdf, 0x5eed);
+    let snapshot = run_to_crash(&mut victim, ms(311.0));
+    drop(victim);
+    let replay = |snap: &Snapshot| {
+        let (mut k, _) = snap.restore().expect("snapshot restores");
+        k.run_until(ms(HORIZON_MS));
+        (k.log().to_vec(), k.energy().to_bits(), k.mode_epoch())
+    };
+    let first = replay(&snapshot);
+    let second = replay(&snapshot);
+    assert_eq!(first.0, second.0, "logs diverged between restores");
+    assert_eq!(first.1, second.1, "energy diverged between restores");
+    assert_eq!(first.2, second.2);
+}
+
+/// A crash after a committed mode change restores the post-transaction
+/// world: the bumped epoch, the re-parameterized task, and a clean finish.
+#[test]
+fn recovery_preserves_mode_epoch_and_reparams() {
+    let (mut victim, handles) = build(PolicyKind::LaEdf, 0xEC0_4E57);
+    victim.run_until(ms(50.0));
+    victim
+        .submit_mode_change(ModeChange::new().reparam(handles[0], ms(12.0), w(3.0)))
+        .expect("relaxing a period keeps the set admissible");
+    victim.run_until(ms(140.0));
+    assert_eq!(
+        victim.mode_epoch(),
+        1,
+        "the transaction committed pre-crash"
+    );
+    let snapshot = run_to_crash(&mut victim, ms(430.0));
+    drop(victim);
+
+    let (mut restored, _) = snapshot.restore().expect("snapshot restores");
+    assert_eq!(restored.mode_epoch(), 1, "epoch survives the crash");
+    restored.run_until(ms(HORIZON_MS));
+    assert_eq!(restored.misses().count(), 0);
+    let findings = audit_kernel_log(restored.log());
+    assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
+}

@@ -17,6 +17,11 @@
 //!   to `figures chaos`, which re-runs the chaos-soak grid, asserts no
 //!   injected fault is ever misclassified as a policy bug, and diffs the
 //!   result against the committed `BENCH_faults.json`.
+//! * `cargo run -p xtask -- modes` — the mode-churn gate: delegates to
+//!   `figures modes`, which re-runs the transactional mode-change soak,
+//!   asserts no commit ever costs a deadline and that every kernel log
+//!   replays clean through the lifecycle auditor, and diffs the result
+//!   against the committed `BENCH_modes.json`.
 //! * `cargo run -p xtask -- lint` — repo-specific source lints that
 //!   clippy cannot express:
 //!
@@ -34,6 +39,13 @@
 //! - `kernel-expect` — `.expect(` in `crates/kernel` non-test code. The
 //!   kernel layer is the OS surface: it must degrade (shed, renegotiate,
 //!   recover poisoned locks), never panic on a runtime condition.
+//! - `mode-change-mutation` — direct mutation of the kernel's entry table
+//!   (`entries.push(`, `entries.remove(`, ...) in `crates/kernel`
+//!   non-test code outside `modechange.rs`. The transaction module owns
+//!   the only admit/retire primitives (`insert_entry`/`take_entry`) so
+//!   every task-set change flows through the planned, logged, epoch-
+//!   stamped path; mutating the table anywhere else bypasses the
+//!   schedulability re-validation.
 //!
 //! Findings can be suppressed per file via `xtask/lint-allow.txt`
 //! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
@@ -59,8 +71,9 @@ fn main() -> ExitCode {
         Some("ci") => ci(&args[1..]),
         Some("bench-check") => figures_gate("check", &args[1..]),
         Some("chaos") => figures_gate("chaos", &args[1..]),
+        Some("modes") => figures_gate("modes", &args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos>");
+            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos|modes>");
             ExitCode::from(2)
         }
     }
@@ -76,7 +89,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` is the in-process
 /// pass (empty argv); everything else shells out to cargo so the stages
 /// are exactly what a contributor would type.
-const STAGES: [Stage; 8] = [
+const STAGES: [Stage; 10] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -96,6 +109,18 @@ const STAGES: [Stage; 8] = [
     Stage {
         name: "test",
         args: &["test", "--workspace", "-q"],
+    },
+    Stage {
+        name: "recovery-smoke",
+        args: &[
+            "test",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs",
+            "--test",
+            "recovery",
+        ],
     },
     Stage {
         name: "examples",
@@ -127,6 +152,20 @@ const STAGES: [Stage; 8] = [
             "figures",
             "--",
             "chaos",
+        ],
+    },
+    Stage {
+        name: "modes",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "modes",
         ],
     },
 ];
@@ -398,6 +437,33 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                       (see server.rs's lock_recovering)"
                     .to_owned(),
             });
+        }
+
+        if in_kernel && !rel.ends_with("/modechange.rs") {
+            for method in [
+                "push(",
+                "insert(",
+                "remove(",
+                "retain(",
+                "swap_remove(",
+                "truncate(",
+                "drain(",
+                "clear(",
+            ] {
+                if line.contains(&format!("entries.{method}")) {
+                    findings.push(Finding {
+                        path: rel.to_owned(),
+                        line: n,
+                        rule: "mode-change-mutation",
+                        msg: format!(
+                            "direct entry-table mutation `entries.{method}...)` outside the \
+                             transaction module; go through insert_entry/take_entry \
+                             (modechange.rs) so the change is planned, logged, and \
+                             epoch-stamped"
+                        ),
+                    });
+                }
+            }
         }
 
         if !is_time {
