@@ -17,7 +17,11 @@
 //! - no event names a task that is not live at that point (orphan events),
 //! - every `DeadlineMiss` event is surfaced as a [`Rule::DeadlineMiss`]
 //!   finding so harnesses can assert "zero policy-blamed misses" on the
-//!   same report type the trace auditor uses.
+//!   same report type the trace auditor uses,
+//! - a regulator safe-point fallback never lands below the desired point
+//!   ([`Rule::UnsafeFallback`] — the driver rounds up, never down), and
+//!   never above the brownout cap active at that moment
+//!   ([`Rule::CapViolation`]).
 //!
 //! A trailing open invocation is *not* a violation: a log captured
 //! mid-run (or at a checkpoint) legitimately ends with work in flight.
@@ -63,6 +67,9 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
     let mut tasks: HashMap<TaskHandle, TaskState> = HashMap::new();
     let mut last_time = Time::ZERO;
     let mut last_epoch = 0u64;
+    // The brownout cap in force at this point of the log (machine points
+    // are ascending, so point-index comparisons are frequency comparisons).
+    let mut cap: Option<usize> = None;
 
     // Requires the handle to be live; one violation per orphan event.
     fn live<'a>(
@@ -235,12 +242,40 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
                 // Resync on the observed value so one skip is one finding.
                 last_epoch = epoch;
             }
+            KernelEvent::BrownoutCapSet { cap: new_cap } => {
+                cap = new_cap;
+            }
+            KernelEvent::RegulatorFallback { desired, applied } => {
+                if applied < desired {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::UnsafeFallback,
+                        format!(
+                            "fallback applied point {applied} below desired {desired}; \
+                             the driver must round up, never down"
+                        ),
+                    );
+                }
+                if let Some(c) = cap {
+                    if applied > c {
+                        flag(
+                            &mut out,
+                            time,
+                            Rule::CapViolation,
+                            format!("fallback applied point {applied} above active cap {c}"),
+                        );
+                    }
+                }
+            }
             KernelEvent::PolicyLoaded { .. }
             | KernelEvent::Degraded { .. }
             | KernelEvent::ModeChangeStaged { .. }
             | KernelEvent::ModeChangeRejected { .. }
             | KernelEvent::GovernorStretched { .. }
             | KernelEvent::GovernorRelaxed
+            | KernelEvent::LadderStepped { .. }
+            | KernelEvent::SupervisorRestored
             | KernelEvent::SnapshotTaken => {}
         }
     }
@@ -409,6 +444,59 @@ mod tests {
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert_eq!(violations[0].rule, Rule::DeadlineMiss);
         assert!(violations[0].details.contains("0.500ms outstanding"));
+    }
+
+    #[test]
+    fn unsafe_fallbacks_and_cap_violations_are_flagged() {
+        let log = vec![
+            // Round-up fallback under no cap: fine.
+            (
+                ms(1.0),
+                KernelEvent::RegulatorFallback {
+                    desired: 2,
+                    applied: 4,
+                },
+            ),
+            // Downward fallback: unsafe by definition.
+            (
+                ms(2.0),
+                KernelEvent::RegulatorFallback {
+                    desired: 3,
+                    applied: 1,
+                },
+            ),
+            // A cap at point 2, then a fallback landing above it.
+            (ms(3.0), KernelEvent::BrownoutCapSet { cap: Some(2) }),
+            (
+                ms(4.0),
+                KernelEvent::RegulatorFallback {
+                    desired: 1,
+                    applied: 3,
+                },
+            ),
+            // Cap lifted: the same landing is fine again.
+            (ms(5.0), KernelEvent::BrownoutCapSet { cap: None }),
+            (
+                ms(6.0),
+                KernelEvent::RegulatorFallback {
+                    desired: 1,
+                    applied: 3,
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&log);
+        let unsafe_fb: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == Rule::UnsafeFallback)
+            .collect();
+        let cap_viol: Vec<_> = violations
+            .iter()
+            .filter(|v| v.rule == Rule::CapViolation)
+            .collect();
+        assert_eq!(unsafe_fb.len(), 1, "{violations:?}");
+        assert!(unsafe_fb[0].details.contains("below desired 3"));
+        assert_eq!(cap_viol.len(), 1, "{violations:?}");
+        assert!(cap_viol[0].details.contains("above active cap 2"));
     }
 
     #[test]

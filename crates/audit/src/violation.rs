@@ -51,6 +51,14 @@ pub enum Rule {
     /// released out of sequence, left unclosed, or attributed to a task
     /// that was never admitted (orphan event).
     KernelLogConsistency,
+    /// A regulator safe-point fallback landed *below* the desired
+    /// frequency. The transition driver rounds up, never down, so the
+    /// applied point must always cover the policy's demand.
+    UnsafeFallback,
+    /// A transition landed above the active brownout/thermal cap: the
+    /// kernel asked the regulator for a point the external constraint
+    /// forbids.
+    CapViolation,
 }
 
 impl Rule {
@@ -71,6 +79,8 @@ impl Rule {
             Rule::FaultInducedMiss => "fault-induced-miss",
             Rule::EpochMonotonicity => "epoch-monotonicity",
             Rule::KernelLogConsistency => "kernel-log-consistency",
+            Rule::UnsafeFallback => "unsafe-fallback",
+            Rule::CapViolation => "cap-violation",
         }
     }
 
@@ -89,6 +99,9 @@ impl Rule {
             Rule::FaultInducedMiss => "fault injection (chaos harness)",
             Rule::EpochMonotonicity | Rule::KernelLogConsistency => {
                 "kernel lifecycle (mode changes & recovery)"
+            }
+            Rule::UnsafeFallback | Rule::CapViolation => {
+                "regulator hardening (safe-point fallback & brownout caps)"
             }
         }
     }
@@ -157,6 +170,8 @@ mod tests {
             Rule::FaultInducedMiss,
             Rule::EpochMonotonicity,
             Rule::KernelLogConsistency,
+            Rule::UnsafeFallback,
+            Rule::CapViolation,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

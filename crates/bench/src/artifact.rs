@@ -37,7 +37,17 @@
 //! Mode-churn artifacts (grid label `"mode-churn"`) reinterpret the axes
 //! the same way: `u` is the churn probability, `energy_norm` is against
 //! the churn-free baseline, and `fault_miss` counts kernel-log audit
-//! findings (see `crate::modes`).
+//! findings (see `crate::modes`). Regulator-soak artifacts (grid label
+//! `"regulator-soak"`) follow suit: `u` is the regulator adversity rate,
+//! `energy_norm` is against the regulator-free baseline, `deadline_miss`
+//! carries policy-blamed misses plus non-miss audit findings, and
+//! `fault_miss` the excused misses (see `crate::regulator`).
+//!
+//! The reader is deliberately forward-compatible: it looks fields up by
+//! name and ignores object keys it does not know, so an artifact written
+//! by a newer producer with extra per-point or per-series fields still
+//! loads here (the comparator then only judges the fields both sides
+//! speak).
 //!
 //! Everything except `meta.threads` and `wall_ms` is a pure function of
 //! the experiment seed; [`BenchArtifact::canonical_json`] zeroes those two
@@ -305,7 +315,10 @@ impl BenchArtifact {
     /// a policy bug).
     #[must_use]
     pub fn validate(&self) -> Vec<String> {
-        let chaos = matches!(self.grid.label.as_str(), "chaos-soak" | "mode-churn");
+        let chaos = matches!(
+            self.grid.label.as_str(),
+            "chaos-soak" | "mode-churn" | "regulator-soak"
+        );
         let mut problems = Vec::new();
         let expected_series = self.grid.policies.len() * self.grid.n_tasks.len();
         if self.series.len() != expected_series {
@@ -838,6 +851,54 @@ mod tests {
         assert!(art.validate().is_empty(), "{:?}", art.validate());
         // ...but a policy-blamed miss from a guaranteed policy is still a
         // finding.
+        art.series[1].points[0].deadline_miss = 1;
+        assert_eq!(art.validate().len(), 1);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_at_every_level() {
+        // Forward compatibility: a newer producer may add fields at the
+        // top level, in meta, in the grid, per series, or per point. The
+        // by-name reader must skip them all and still round-trip the
+        // fields it knows.
+        let art = sample();
+        let text = art
+            .to_json()
+            .replace(
+                "\"schema\": \"rtdvs-bench/v1\",",
+                "\"schema\": \"rtdvs-bench/v1\",\n  \"producer\": \"future/2.0\",",
+            )
+            .replace(
+                "\"seed\": 24301,",
+                "\"seed\": 24301,\n    \"host_arch\": \"riscv64\",",
+            )
+            .replace(
+                "\"label\": \"sweep-smoke\",",
+                "\"label\": \"sweep-smoke\",\n      \"cap_point\": 3,",
+            )
+            .replace(
+                "\"policy\": \"ccEDF\",",
+                "\"policy\": \"ccEDF\", \"retries\": 17,",
+            )
+            .replace(
+                "\"deadline_miss\": 0, \"fault_miss\": 0}",
+                "\"deadline_miss\": 0, \"fault_miss\": 0, \"stuck\": 2, \"note\": null}",
+            );
+        assert_ne!(text, art.to_json(), "replacements must have applied");
+        let parsed = BenchArtifact::from_json(&text).expect("tolerant parse");
+        assert_eq!(parsed, art);
+    }
+
+    #[test]
+    fn regulator_soak_label_normalizes_per_policy() {
+        // The regulator soak normalizes each policy against its own
+        // regulator-free baseline, so EDF ≠ 1 is legitimate there while
+        // the guaranteed-policy miss check still bites.
+        let mut art = sample();
+        art.grid.label = "regulator-soak".to_owned();
+        art.series[0].points[1].energy_norm = 1.04;
+        art.series[0].points[1].fault_miss = 2;
+        assert!(art.validate().is_empty(), "{:?}", art.validate());
         art.series[1].points[0].deadline_miss = 1;
         assert_eq!(art.validate().len(), 1);
     }

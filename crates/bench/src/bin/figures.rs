@@ -34,6 +34,15 @@
 //!     lifecycle auditor, diff the result against the committed
 //!     BENCH_modes.json, and validate its structure. This is what
 //!     `xtask modes` and the CI mode-churn stage run.
+//!
+//! figures regulator [--tolerance FRACTION] [--golden-dir DIR]
+//!     Re-run the regulator-soak smoke grid (unreliable regulator plus
+//!     brownout caps across all six policies), assert that no miss is
+//!     ever policy-blamed and that the rate-0 column normalizes to
+//!     exactly 1 (the zero-cost-ideal proof), diff the result against
+//!     the committed BENCH_regulator.json, and validate its structure.
+//!     This is what `xtask regulator` and the CI regulator-smoke stage
+//!     run.
 //! ```
 
 use std::num::NonZeroUsize;
@@ -46,6 +55,7 @@ use rtdvs_bench::figures::{
     paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
 };
 use rtdvs_bench::modes::{modes_smoke_config, run_modes};
+use rtdvs_bench::regulator::{regulator_smoke_config, run_regulator};
 use rtdvs_bench::render_normalized_chart;
 
 /// Default experiment seed (the sweep harness default, `0x5eed`).
@@ -56,6 +66,7 @@ const PAPER_FIGURES_FILE: &str = "BENCH_paper_figures.json";
 const SWEEP_FILE: &str = "BENCH_sweep.json";
 const FAULTS_FILE: &str = "BENCH_faults.json";
 const MODES_FILE: &str = "BENCH_modes.json";
+const REGULATOR_FILE: &str = "BENCH_regulator.json";
 
 struct Args {
     command: String,
@@ -82,7 +93,7 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" | "chaos" | "modes" => args.command = a,
+            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" => args.command = a,
             "--quick" => args.quick = true,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a count")?;
@@ -123,8 +134,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos|modes] [--quick] [--threads N] [--threads-list 1,2,4] \
-     [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
+    "usage: figures [run|check|bench|chaos|modes|regulator] [--quick] [--threads N] \
+     [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
         .to_owned()
 }
 
@@ -222,9 +233,12 @@ fn run(args: &Args) -> Result<(), String> {
 
     let churn = run_modes(&modes_smoke_config(args.seed));
     write_artifact(&out, MODES_FILE, &churn)?;
+
+    let hardened = run_regulator(&regulator_smoke_config(args.seed));
+    write_artifact(&out, REGULATOR_FILE, &hardened)?;
     println!(
         "total wall: {} ms across {} simulations",
-        artifact.wall_ms + smoke.wall_ms + faults.wall_ms + churn.wall_ms,
+        artifact.wall_ms + smoke.wall_ms + faults.wall_ms + churn.wall_ms + hardened.wall_ms,
         figures.iter().map(|f| f.run.stats.sims).sum::<u64>()
     );
     Ok(())
@@ -270,7 +284,7 @@ fn check(args: &Args) -> Result<(), String> {
 
     // 2. Structural invariants of the committed paper-figures artifact
     //    (full regeneration is `figures run`; too slow for every push).
-    for name in [PAPER_FIGURES_FILE, FAULTS_FILE, MODES_FILE] {
+    for name in [PAPER_FIGURES_FILE, FAULTS_FILE, MODES_FILE, REGULATOR_FILE] {
         let golden = load_golden(&dir, name)?;
         let structural = golden.validate();
         if structural.is_empty() {
@@ -410,6 +424,69 @@ fn modes(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn regulator(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let golden = load_golden(&dir, REGULATOR_FILE)?;
+    let fresh = run_regulator(&regulator_smoke_config(golden.seed));
+
+    // 1. No miss is ever policy-blamed, and the rate-0 column normalizes
+    //    to exactly 1: the ideal regulator is provably free.
+    let mut excused_misses = 0u64;
+    for series in &fresh.series {
+        for p in &series.points {
+            if p.deadline_miss != 0 {
+                return Err(format!(
+                    "regulator: {} blamed for {} miss(es) at adversity rate {} — \
+                     a policy-blamed miss under regulator failure is a driver bug",
+                    series.policy, p.deadline_miss, p.u
+                ));
+            }
+            if p.u.to_bits() == 0.0_f64.to_bits() && p.energy_norm.to_bits() != 1.0_f64.to_bits() {
+                return Err(format!(
+                    "regulator: {} normalizes to {} at rate 0 — the ideal \
+                     regulator must be byte-identical to no regulator at all",
+                    series.policy, p.energy_norm
+                ));
+            }
+            excused_misses += p.fault_miss;
+        }
+    }
+
+    // 2. The fresh soak reproduces the committed golden.
+    let problems = compare(&golden, &fresh, args.tolerance);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("regulator: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {REGULATOR_FILE}; if the hardening model \
+             intentionally changed, regenerate the goldens with `figures run` and commit them",
+            problems.len()
+        ));
+    }
+
+    // 3. Structural invariants of the artifact itself.
+    let structural = fresh.validate();
+    if !structural.is_empty() {
+        for p in &structural {
+            eprintln!("regulator: {REGULATOR_FILE}: {p}");
+        }
+        return Err(format!("{} structural problem(s)", structural.len()));
+    }
+
+    println!(
+        "regulator: {} policies x {} adversity rates reproduce {} within ±{:.1}% \
+         ({} excused misses, 0 policy-blamed, ideal regulator bit-exact, {} ms)",
+        fresh.grid.policies.len(),
+        fresh.grid.utilizations.len(),
+        REGULATOR_FILE,
+        100.0 * args.tolerance,
+        excused_misses,
+        fresh.wall_ms
+    );
+    Ok(())
+}
+
 fn bench(args: &Args) -> Result<(), String> {
     let scale = figures_scale(args.quick);
     println!(
@@ -466,6 +543,7 @@ fn main() -> ExitCode {
         "bench" => bench(&args),
         "chaos" => chaos(&args),
         "modes" => modes(&args),
+        "regulator" => regulator(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

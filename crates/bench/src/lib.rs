@@ -15,6 +15,7 @@ pub mod chart;
 pub mod figures;
 pub mod microbench;
 pub mod modes;
+pub mod regulator;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
@@ -25,6 +26,7 @@ pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
 pub use chart::render_normalized_chart;
 pub use figures::*;
 pub use modes::{modes_smoke_config, run_modes, ModesConfig};
+pub use regulator::{regulator_smoke_config, run_regulator, RegulatorConfig};
 pub use runner::{run_sweep_threads, RunnerStats, SweepRun};
 pub use stats::{welch_t, Summary};
 pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};

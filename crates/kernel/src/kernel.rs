@@ -22,15 +22,33 @@ use std::fmt::Write as _;
 
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::policy::{DvsPolicy, PolicyKind};
+use rtdvs_core::sched::SchedulerKind;
 use rtdvs_core::task::{Task, TaskError, TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
 use rtdvs_core::view::{InvState, SystemView, TaskView};
+use rtdvs_platform::{Regulator, TransitionOutcome};
 use rtdvs_sim::{Activity, EnergyMeter, SwitchOverhead, Trace};
 
 use crate::body::TaskBody;
 
 /// A stand-in for "far in the future" used for deferred tasks' views.
 const FAR_FUTURE_MS: f64 = 1e15;
+
+/// Bounded attempt cap per transition target. Together with the
+/// exponential backoff in [`RtKernel::retry_backoff`] this keeps every
+/// retry ladder compile-visibly finite (the `bounded-retry` lint rejects
+/// unbounded retry loops in kernel and platform code).
+pub(crate) const MAX_TRANSITION_ATTEMPTS: usize = 3;
+
+/// Review cadence of the brownout/regulator degradation ladder.
+const LADDER_REVIEW_PERIOD_MS: f64 = 50.0;
+
+/// Regulator fallbacks within one review window that step the ladder down.
+const LADDER_FALLBACK_THRESHOLD: u64 = 3;
+
+/// Capped-utilization ceiling required before the ladder climbs back up
+/// (hysteresis, like the governor's relax headroom).
+const LADDER_CLIMB_HEADROOM: f64 = 0.9;
 
 /// Opaque handle identifying an admitted task (the file handle of the
 /// prototype's procfs interface).
@@ -177,6 +195,33 @@ pub enum KernelEvent {
     },
     /// A checkpoint of the full kernel state was taken.
     SnapshotTaken,
+    /// The transition driver exhausted its bounded retries for the desired
+    /// point and landed on a safe substitute instead. The substitute's
+    /// frequency is never below the desired one (rounded up, never down).
+    RegulatorFallback {
+        /// The point the policy asked for (after cap clamping).
+        desired: PointIdx,
+        /// The point actually applied.
+        applied: PointIdx,
+    },
+    /// The brownout/thermal cap changed: operating points above `cap` are
+    /// unavailable until the cap is lifted (`None`).
+    BrownoutCapSet {
+        /// The highest available point, or `None` when uncapped.
+        cap: Option<PointIdx>,
+    },
+    /// The brownout governor moved the policy along the degradation ladder
+    /// (laEDF → ccEDF → StaticEDF → pinned top) without changing the
+    /// operator's preferred policy.
+    LadderStepped {
+        /// Display name of the policy before the step.
+        from: &'static str,
+        /// Display name of the policy after the step.
+        to: &'static str,
+    },
+    /// The watchdog supervisor restored the kernel from its last
+    /// checkpoint after detecting a stall or repeated containment.
+    SupervisorRestored,
 }
 
 /// Errors from the admission and lifecycle API.
@@ -330,6 +375,34 @@ pub struct RtKernel {
     pub(crate) pending_change: Option<crate::modechange::StagedChange>,
     /// When the last checkpoint was taken, if ever.
     pub(crate) last_snapshot_at: Option<Time>,
+    /// The hardware regulator behind the transition driver, when attached.
+    /// Hardware state: never serialized — a restore re-attaches the live
+    /// regulator rather than rewinding its fault streams.
+    pub(crate) regulator: Option<Box<dyn Regulator + Send>>,
+    /// Brownout/thermal cap: the highest operating point currently
+    /// available, or `None` when uncapped.
+    pub(crate) brownout_cap: Option<PointIdx>,
+    /// The policy the operator loaded; ladder degradation departs from it
+    /// and recovery climbs back to it.
+    pub(crate) preferred_policy: PolicyKind,
+    /// Current rung on the degradation ladder (0 = preferred policy).
+    pub(crate) ladder_pos: usize,
+    /// Next virtual time the brownout governor reviews regulator health.
+    pub(crate) ladder_review_at: Time,
+    /// `regulator_fallbacks` at the previous ladder review.
+    pub(crate) fallbacks_at_review: u64,
+    /// Transition attempts beyond the first per desired point.
+    pub(crate) transition_retries: u64,
+    /// Attempts the regulator ignored or timed out (stuck transitions).
+    pub(crate) transition_failures: u64,
+    /// Times the driver landed on a substitute point instead of the
+    /// requested one.
+    pub(crate) regulator_fallbacks: u64,
+    /// Times the fail-safe rail was forced after retries exhausted.
+    pub(crate) forced_transitions: u64,
+    /// The watchdog supervisor, when armed. Like the regulator, never
+    /// serialized: it owns the snapshot it would restore from.
+    pub(crate) supervisor: Option<crate::supervisor::Supervisor>,
 }
 
 impl RtKernel {
@@ -361,6 +434,17 @@ impl RtKernel {
             mode_epoch: 0,
             pending_change: None,
             last_snapshot_at: None,
+            regulator: None,
+            brownout_cap: None,
+            preferred_policy: kind,
+            ladder_pos: 0,
+            ladder_review_at: Time::ZERO,
+            fallbacks_at_review: 0,
+            transition_retries: 0,
+            transition_failures: 0,
+            regulator_fallbacks: 0,
+            forced_transitions: 0,
+            supervisor: None,
         };
         kernel.log.push((
             Time::ZERO,
@@ -437,6 +521,66 @@ impl RtKernel {
     pub fn with_degraded_mode(mut self) -> RtKernel {
         self.degrade_on_fault = true;
         self
+    }
+
+    /// Attaches a hardware regulator model behind the transition driver.
+    /// An ideal regulator never draws randomness and runs byte-identically
+    /// to no regulator at all; a faulty one exercises the bounded-retry /
+    /// safe-fallback driver ([`RtKernel::transition_stats`]).
+    #[must_use]
+    pub fn with_regulator(mut self, regulator: Box<dyn Regulator + Send>) -> RtKernel {
+        self.regulator = Some(regulator);
+        self
+    }
+
+    /// Attaches or replaces the regulator at run time (the supervisor uses
+    /// this to carry the live hardware across a restore).
+    pub fn attach_regulator(&mut self, regulator: Box<dyn Regulator + Send>) {
+        self.regulator = Some(regulator);
+    }
+
+    /// The attached regulator's name, if any.
+    #[must_use]
+    pub fn regulator_name(&self) -> Option<&'static str> {
+        self.regulator.as_deref().map(Regulator::name)
+    }
+
+    /// Sets or lifts the brownout/thermal cap: operating points above
+    /// `cap` become unavailable until the cap is lifted. The degradation
+    /// ladder reviews the clamped set at the next quiescent instant.
+    pub fn set_brownout_cap(&mut self, cap: Option<PointIdx>) {
+        let cap = cap.map(|c| c.min(self.machine.highest()));
+        if cap == self.brownout_cap {
+            return;
+        }
+        self.brownout_cap = cap;
+        self.ladder_review_at = self.now;
+        self.log
+            .push((self.now, KernelEvent::BrownoutCapSet { cap }));
+    }
+
+    /// The active brownout/thermal cap, if any.
+    #[must_use]
+    pub fn brownout_cap(&self) -> Option<PointIdx> {
+        self.brownout_cap
+    }
+
+    /// Transition-driver accounting:
+    /// `(retries, stuck failures, fallbacks, forced rail writes)`.
+    #[must_use]
+    pub fn transition_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.transition_retries,
+            self.transition_failures,
+            self.regulator_fallbacks,
+            self.forced_transitions,
+        )
+    }
+
+    /// Current rung on the degradation ladder (0 = the preferred policy).
+    #[must_use]
+    pub fn ladder_position(&self) -> usize {
+        self.ladder_pos
     }
 
     /// The kernel's virtual clock.
@@ -660,6 +804,10 @@ impl RtKernel {
     pub fn load_policy(&mut self, kind: PolicyKind) {
         self.policy = kind.build();
         self.policy_kind = kind;
+        // An operator-loaded policy resets the degradation ladder: this is
+        // the new preferred rung the ladder climbs back to.
+        self.preferred_policy = kind;
+        self.ladder_pos = 0;
         self.log.push((
             self.now,
             KernelEvent::PolicyLoaded {
@@ -884,11 +1032,19 @@ impl RtKernel {
         // A bound beyond even the nominal period is out of the elastic
         // model's reach; leave it to the shed path.
         let Some(nominal) = nominal else { return false };
+        // Under a brownout cap the governor must contain the overload at
+        // the capped top frequency, so feasibility scales every bound up
+        // by the capped speed (1.0 when uncapped — a no-op).
+        let scale = self.cap_scale();
         let policy = &self.policy;
         let feasible = |tasks: &[Task]| -> bool {
             let specs: Option<Vec<Task>> = tasks
                 .iter()
-                .map(|t| t.with_inflated_wcet(stall).ok())
+                .map(|t| {
+                    t.with_inflated_wcet(stall).ok().and_then(|t| {
+                        Task::new(t.period(), Work::from_ms(t.wcet().as_ms() / scale)).ok()
+                    })
+                })
                 .collect();
             match specs.and_then(|s| TaskSet::new(s).ok()) {
                 Some(candidate) => policy.guarantees(&candidate),
@@ -962,6 +1118,9 @@ impl RtKernel {
             return false;
         }
         let stall = self.stall_budget();
+        // Same cap scaling as the stretch search: never relax back to
+        // nominal rates the capped ladder cannot carry.
+        let scale = self.cap_scale();
         let specs: Option<Vec<Task>> = self
             .entries
             .iter()
@@ -969,6 +1128,9 @@ impl RtKernel {
                 Task::new(e.nominal_period, e.user_spec.wcet())
                     .ok()
                     .and_then(|t| t.with_inflated_wcet(stall).ok())
+                    .and_then(|t| {
+                        Task::new(t.period(), Work::from_ms(t.wcet().as_ms() / scale)).ok()
+                    })
             })
             .collect();
         let Some(specs) = specs else { return false };
@@ -1078,6 +1240,12 @@ impl RtKernel {
                     progressed |= crate::modechange::commit_staged(self);
                 }
                 progressed |= self.relax_stretch();
+                if self.brownout_cap.is_some() || self.regulator.is_some() || self.ladder_pos > 0 {
+                    progressed |= self.review_ladder();
+                }
+                if self.supervisor.is_some() {
+                    progressed |= self.supervisor_tick();
+                }
             }
             // Deferred tasks release once nothing is in flight (§4.3: "the
             // effects of past DVS decisions, based on the old task set,
@@ -1105,14 +1273,16 @@ impl RtKernel {
         }
     }
 
-    fn apply_point(&mut self, desired: PointIdx) {
-        if self.applied == Some(desired) {
+    /// Books the switch + stall for landing on `point`, exactly like the
+    /// pre-regulator kernel did.
+    fn account_switch(&mut self, point: PointIdx) {
+        if self.applied == Some(point) {
             return;
         }
         if let Some(prev) = self.applied {
             self.switches += 1;
             let voltage_changed =
-                (self.machine.point(prev).volts - self.machine.point(desired).volts).abs() > EPS;
+                (self.machine.point(prev).volts - self.machine.point(point).volts).abs() > EPS;
             if let Some(ov) = self.switch_overhead {
                 self.stall_until = self.now
                     + if voltage_changed {
@@ -1122,7 +1292,241 @@ impl RtKernel {
                     };
             }
         }
-        self.applied = Some(desired);
+        self.applied = Some(point);
+    }
+
+    /// Slack to the earliest active deadline — the budget the retry
+    /// ladder's backoff may eat into without endangering schedulability.
+    /// `None` when nothing is in flight (no deadline pressure).
+    fn retry_slack(&self) -> Option<Time> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == InvState::Active)
+            .map(|e| e.deadline)
+            .min_by(|a, b| a.as_ms().total_cmp(&b.as_ms()))
+            .map(|d| (d - self.now).max(Time::ZERO))
+    }
+
+    /// Backoff inserted after failed attempt `attempt`: exponential in the
+    /// frequency-only stop interval, clamped so the whole bounded ladder
+    /// cannot burn more than half the earliest active deadline's slack —
+    /// the "deadline-aware" half of retry-with-backoff.
+    fn retry_backoff(&self, attempt: usize, slack: Option<Time>) -> Time {
+        /// Fraction of the earliest deadline's slack the whole retry
+        /// ladder may consume as backoff.
+        const BACKOFF_SLACK_FRACTION: f64 = 0.5;
+        let base = self
+            .switch_overhead
+            .map_or(Time::from_us(41.0), |ov| ov.freq_only);
+        let exp = Time::from_ms(base.as_ms() * (1u64 << attempt.min(20)) as f64);
+        match slack {
+            None => exp,
+            Some(s) => exp.min(Time::from_ms(
+                s.as_ms() * BACKOFF_SLACK_FRACTION / MAX_TRANSITION_ATTEMPTS as f64,
+            )),
+        }
+    }
+
+    fn apply_point(&mut self, desired: PointIdx) {
+        let desired = match self.brownout_cap {
+            Some(cap) => desired.min(cap.min(self.machine.highest())),
+            None => desired,
+        };
+        if self.applied == Some(desired) {
+            return;
+        }
+        let Some(mut reg) = self.regulator.take() else {
+            // No regulator attached: transitions always land.
+            self.account_switch(desired);
+            return;
+        };
+        // Regulator-backed transition driver: bounded retries per target
+        // with deadline-aware backoff, escalating the target *upward* when
+        // a point will not land (frequency rounds up, never down, so any
+        // demand the policy committed to stays covered) and forcing the
+        // fail-safe rail at the top of the capped ladder as a last resort.
+        let top = self.brownout_cap.map_or(self.machine.highest(), |cap| {
+            cap.min(self.machine.highest())
+        });
+        let slack = self.retry_slack();
+        let mut extra_stall = Time::ZERO;
+        let mut landed: Option<PointIdx> = None;
+        'targets: for target in desired..=top {
+            for attempt in 0..MAX_TRANSITION_ATTEMPTS {
+                if attempt > 0 || target > desired {
+                    self.transition_retries += 1;
+                }
+                match reg.attempt(self.applied, target) {
+                    TransitionOutcome::Applied { settle_extra } => {
+                        extra_stall += settle_extra;
+                        landed = Some(target);
+                        break 'targets;
+                    }
+                    TransitionOutcome::Failed => {
+                        self.transition_failures += 1;
+                    }
+                    TransitionOutcome::TimedOut { lost } => {
+                        self.transition_failures += 1;
+                        extra_stall += lost;
+                    }
+                }
+                extra_stall += self.retry_backoff(attempt, slack);
+            }
+        }
+        let final_point = match landed {
+            Some(p) => p,
+            None => {
+                extra_stall += reg.force(top);
+                self.forced_transitions += 1;
+                top
+            }
+        };
+        self.account_switch(final_point);
+        if extra_stall.as_ms() > 0.0 {
+            self.stall_until = self.stall_until.max(self.now) + extra_stall;
+        }
+        if final_point != desired {
+            self.regulator_fallbacks += 1;
+            self.log.push((
+                self.now,
+                KernelEvent::RegulatorFallback {
+                    desired,
+                    applied: final_point,
+                },
+            ));
+        }
+        self.regulator = Some(reg);
+    }
+
+    /// The capped top frequency (1.0 when uncapped): a task bound C under
+    /// cap frequency f demands C/f of the full-speed processor.
+    fn cap_scale(&self) -> f64 {
+        match self.brownout_cap {
+            Some(cap) => self.machine.point(cap.min(self.machine.highest())).freq,
+            None => 1.0,
+        }
+    }
+
+    /// Whether the current task set passes `kind`'s admission test with
+    /// every bound scaled up by the capped top frequency, and with scaled
+    /// utilization at or under `headroom`.
+    fn capped_feasible_at(&self, kind: PolicyKind, headroom: f64) -> bool {
+        if self.entries.is_empty() {
+            return true;
+        }
+        let scale = self.cap_scale();
+        let specs: Option<Vec<Task>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Task::new(
+                    e.spec.period(),
+                    Work::from_ms(e.spec.wcet().as_ms() / scale),
+                )
+                .ok()
+            })
+            .collect();
+        match specs.and_then(|s| TaskSet::new(s).ok()) {
+            Some(set) => kind.build().guarantees(&set) && set.total_utilization() <= headroom,
+            None => false,
+        }
+    }
+
+    /// The degradation ladder, top to bottom: the operator's preferred
+    /// policy, then laEDF → ccEDF → StaticEDF → a manual pin at the top of
+    /// the (possibly capped) point ladder. Every switch is a fault
+    /// opportunity on a flaky regulator, so each rung transitions less
+    /// eagerly than the one above, and the bottom rung transitions never.
+    fn ladder_rungs(&self) -> Vec<PolicyKind> {
+        let top = self.brownout_cap.map_or(self.machine.highest(), |cap| {
+            cap.min(self.machine.highest())
+        });
+        let mut rungs = vec![self.preferred_policy];
+        for kind in [
+            PolicyKind::LaEdf,
+            PolicyKind::CcEdf,
+            PolicyKind::StaticEdf,
+            PolicyKind::Manual {
+                scheduler: SchedulerKind::Edf,
+                point: top,
+            },
+        ] {
+            if !rungs.contains(&kind) {
+                rungs.push(kind);
+            }
+        }
+        rungs
+    }
+
+    /// Moves the policy to `rungs[to]`, logging the step. Unlike
+    /// [`RtKernel::load_policy`] this leaves the preferred policy alone,
+    /// so the ladder can climb back when conditions recover.
+    fn step_ladder(&mut self, to: usize, rungs: &[PolicyKind]) {
+        let from = self.policy.name();
+        let to = to.min(rungs.len() - 1);
+        let kind = rungs[to];
+        self.ladder_pos = to;
+        self.policy = kind.build();
+        self.policy_kind = kind;
+        self.log.push((
+            self.now,
+            KernelEvent::LadderStepped {
+                from,
+                to: self.policy.name(),
+            },
+        ));
+        self.rebuild_and_reinit();
+    }
+
+    /// Pins the ladder at its bottom rung — the supervisor's refuge when
+    /// restores flap: a manual pin makes zero further transitions, so a
+    /// regulator that cannot transition reliably is never asked to.
+    pub(crate) fn pin_ladder_bottom(&mut self) {
+        let rungs = self.ladder_rungs();
+        if self.ladder_pos + 1 >= rungs.len() {
+            return;
+        }
+        self.step_ladder(rungs.len() - 1, &rungs);
+    }
+
+    /// The brownout/regulator governor, run at quiescent instants: steps
+    /// the policy one rung down when the capped set fails the active
+    /// policy's admission test or the last review window saw repeated
+    /// fallback containment, and climbs one rung back after a clean window
+    /// with capped headroom. When even the lower rung cannot pass under
+    /// the cap, the overload is handed to the elastic governor, whose
+    /// stretch search is cap-aware.
+    fn review_ladder(&mut self) -> bool {
+        if !self.ladder_review_at.at_or_before(self.now) {
+            return false;
+        }
+        self.ladder_review_at = self.now + Time::from_ms(LADDER_REVIEW_PERIOD_MS);
+        let window_fallbacks = self
+            .regulator_fallbacks
+            .saturating_sub(self.fallbacks_at_review);
+        self.fallbacks_at_review = self.regulator_fallbacks;
+        let rungs = self.ladder_rungs();
+        let pos = self.ladder_pos.min(rungs.len() - 1);
+        let active_ok = self.capped_feasible_at(self.policy_kind, 1.0);
+        if !active_ok || window_fallbacks >= LADDER_FALLBACK_THRESHOLD {
+            let mut acted = false;
+            if pos + 1 < rungs.len() {
+                self.step_ladder(pos + 1, &rungs);
+                acted = true;
+            }
+            if !self.capped_feasible_at(self.policy_kind, 1.0) {
+                acted |= self.try_stretch_containment();
+            }
+            return acted;
+        }
+        if window_fallbacks == 0 && pos > 0 {
+            let up = rungs[pos - 1];
+            if self.capped_feasible_at(up, LADDER_CLIMB_HEADROOM) {
+                self.step_ladder(pos - 1, &rungs);
+                return true;
+            }
+        }
+        false
     }
 
     /// Advances the kernel's virtual clock to `t`, running tasks and
@@ -1168,7 +1572,12 @@ impl RtKernel {
                 self.machine.lowest()
             };
             self.apply_point(desired);
-            let op = self.machine.point(desired);
+            // Under a regulator the point that landed may sit above the
+            // desired one (safe-point fallback); run and charge at what
+            // the hardware actually does. Without a regulator the two are
+            // always equal.
+            let landed = self.applied.unwrap_or(desired);
+            let op = self.machine.point(landed);
 
             let mut t_next = t;
             for e in &self.entries {
@@ -1194,23 +1603,23 @@ impl RtKernel {
             if stall_end > self.now {
                 self.meter.charge_stall(stall_end - self.now);
                 if let Some(tr) = &mut self.trace {
-                    tr.push(self.now, stall_end, desired, Activity::Stall);
+                    tr.push(self.now, stall_end, landed, Activity::Stall);
                 }
             }
             if t_next > stall_end {
                 let d = t_next - stall_end;
                 match running {
                     Some(id) => {
-                        self.meter.charge_busy(&self.machine, desired, d);
+                        self.meter.charge_busy(&self.machine, landed, d);
                         self.entries[id.0].executed += d.work_at(op.freq);
                         if let Some(tr) = &mut self.trace {
-                            tr.push(stall_end, t_next, desired, Activity::Run(id));
+                            tr.push(stall_end, t_next, landed, Activity::Run(id));
                         }
                     }
                     None => {
-                        self.meter.charge_idle(&self.machine, desired, d);
+                        self.meter.charge_idle(&self.machine, landed, d);
                         if let Some(tr) = &mut self.trace {
-                            tr.push(stall_end, t_next, desired, Activity::Idle);
+                            tr.push(stall_end, t_next, landed, Activity::Idle);
                         }
                     }
                 }

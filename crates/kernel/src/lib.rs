@@ -36,6 +36,7 @@ pub mod modechange;
 pub mod procfs;
 pub mod server;
 pub mod snapshot;
+pub mod supervisor;
 
 pub use body::{ColdStartBody, FractionBody, TaskBody, UniformBody, WcetBody};
 pub use kernel::{GovernorState, KernelError, KernelEvent, RtKernel, TaskHandle};
@@ -43,6 +44,7 @@ pub use modechange::{ModeChange, ModeChangeReceipt};
 pub use procfs::{execute, execute_script};
 pub use server::{AperiodicServer, CompletedJob, JobId};
 pub use snapshot::{Snapshot, SnapshotError};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState};
 
 #[cfg(test)]
 mod tests {

@@ -25,6 +25,12 @@
 //! governor                                    -> "nominal" | "stretched" | "shedding"
 //! last-snapshot                               -> "never" | "<ms>"
 //! checkpoint                                  -> "ok <bytes> bytes"
+//! cap                                         -> "none" | "<point index>"
+//! cap <idx|none>                              -> "ok cap=<idx|none>"
+//! transitions                                 -> "retries=N failures=N fallbacks=N forced=N"
+//! ladder                                      -> "pos=<rung> policy=<name>"
+//! supervisor                                  -> "off" | "state=… restores=… checkpoint=…"
+//! supervise <heartbeat_ms>                    -> "ok heartbeat=<ms>"
 //! ```
 //!
 //! `<fraction>` gives the registered task's actual per-invocation demand
@@ -154,6 +160,47 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
             let snap = kernel.checkpoint().map_err(|e| e.to_string())?;
             Ok(format!("ok {} bytes", snap.as_text().len()))
         }
+        ("cap", []) => Ok(match kernel.brownout_cap() {
+            None => "none".to_owned(),
+            Some(c) => format!("{c}"),
+        }),
+        ("cap", ["none"]) => {
+            kernel.set_brownout_cap(None);
+            Ok("ok cap=none".to_owned())
+        }
+        ("cap", [idx]) => {
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| format!("bad point index {idx:?}"))?;
+            kernel.set_brownout_cap(Some(idx));
+            Ok(format!(
+                "ok cap={}",
+                kernel.brownout_cap().unwrap_or_default()
+            ))
+        }
+        ("transitions", []) => {
+            let (retries, failures, fallbacks, forced) = kernel.transition_stats();
+            Ok(format!(
+                "retries={retries} failures={failures} fallbacks={fallbacks} forced={forced}"
+            ))
+        }
+        ("ladder", []) => Ok(format!(
+            "pos={} policy={}",
+            kernel.ladder_position(),
+            kernel.policy_name()
+        )),
+        ("supervisor", []) => Ok(kernel.supervisor_status()),
+        ("supervise", [heartbeat]) => {
+            let ms: f64 = heartbeat.parse().map_err(|_| "bad heartbeat")?;
+            if ms <= 0.0 {
+                return Err("heartbeat must be positive".to_owned());
+            }
+            kernel.arm_supervisor(crate::supervisor::SupervisorConfig {
+                heartbeat: Time::from_ms(ms),
+                ..crate::supervisor::SupervisorConfig::default()
+            });
+            Ok(format!("ok heartbeat={ms:.3}"))
+        }
         _ => Err(format!("unknown command {line:?}")),
     }
 }
@@ -263,6 +310,39 @@ mod tests {
         );
         assert_eq!(execute(&mut k, "last-snapshot"), "25.000");
         assert!(execute(&mut k, "status").contains("last_snapshot=25.000ms"));
+    }
+
+    #[test]
+    fn regulator_fields_read_back() {
+        let mut k = kernel();
+        execute(&mut k, "register 10 3 0.9");
+        assert_eq!(execute(&mut k, "cap"), "none");
+        assert_eq!(
+            execute(&mut k, "transitions"),
+            "retries=0 failures=0 fallbacks=0 forced=0"
+        );
+        assert_eq!(execute(&mut k, "ladder"), "pos=0 policy=EDF");
+        assert_eq!(execute(&mut k, "supervisor"), "off");
+        // Impose a cap, run, lift it again.
+        assert_eq!(execute(&mut k, "cap 1"), "ok cap=1");
+        assert_eq!(execute(&mut k, "cap"), "1");
+        execute(&mut k, "run 60");
+        assert_eq!(execute(&mut k, "cap none"), "ok cap=none");
+        assert!(execute(&mut k, "cap grue").starts_with("err:"));
+        // An out-of-range cap clamps to the top point.
+        assert_eq!(execute(&mut k, "cap 99"), "ok cap=2");
+    }
+
+    #[test]
+    fn supervisor_arms_via_text() {
+        let mut k = kernel();
+        execute(&mut k, "register 10 3 0.9");
+        assert_eq!(execute(&mut k, "supervise 50"), "ok heartbeat=50.000");
+        execute(&mut k, "run 200");
+        let s = execute(&mut k, "supervisor");
+        assert!(s.contains("state=nominal"), "{s}");
+        assert!(s.contains("restores=0"), "{s}");
+        assert!(execute(&mut k, "supervise -1").starts_with("err:"));
     }
 
     #[test]

@@ -257,6 +257,27 @@ fn write_kernel(
             let _ = writeln!(w, "last-snapshot none");
         }
     }
+    match k.brownout_cap {
+        Some(c) => {
+            let _ = writeln!(w, "cap {c}");
+        }
+        None => {
+            let _ = writeln!(w, "cap none");
+        }
+    }
+    let _ = writeln!(
+        w,
+        "ladder {} {} {} {}",
+        k.ladder_pos,
+        hex(k.ladder_review_at.as_ms()),
+        k.fallbacks_at_review,
+        policy_token(k.preferred_policy),
+    );
+    let _ = writeln!(
+        w,
+        "regulator-stats {} {} {} {}",
+        k.transition_retries, k.transition_failures, k.regulator_fallbacks, k.forced_transitions,
+    );
     let _ = write!(w, "machine {}", k.machine.len());
     for p in k.machine.points() {
         let _ = write!(w, " {} {}", hex(p.freq), hex(p.volts));
@@ -461,6 +482,15 @@ fn event_tokens(ev: &KernelEvent) -> String {
             format!("renegotiated {} {}", handle.raw(), hex(bound.as_ms()))
         }
         KernelEvent::SnapshotTaken => "snapshot".into(),
+        KernelEvent::RegulatorFallback { desired, applied } => {
+            format!("reg-fallback {desired} {applied}")
+        }
+        KernelEvent::BrownoutCapSet { cap } => match cap {
+            Some(c) => format!("cap {c}"),
+            None => "cap none".into(),
+        },
+        KernelEvent::LadderStepped { from, to } => format!("ladder {from} {to}"),
+        KernelEvent::SupervisorRestored => "sup-restored".into(),
     }
 }
 
@@ -711,6 +741,29 @@ fn rebuild_body(state: &BodyState) -> (Box<dyn TaskBody>, Option<AperiodicServer
     }
 }
 
+/// Maps a serialized policy name back to the `'static` string the live
+/// policies report. The set is closed, so an unknown name means
+/// corruption.
+fn intern_policy_name(name: &str) -> Result<&'static str, SnapshotError> {
+    const KNOWN: [&str; 10] = [
+        "EDF",
+        "RM",
+        "StaticEDF",
+        "StaticRM",
+        "ccEDF",
+        "ccRM",
+        "laEDF",
+        "stochEDF",
+        "interval",
+        "manual",
+    ];
+    KNOWN
+        .iter()
+        .find(|k| **k == name)
+        .copied()
+        .ok_or_else(|| corrupt(format!("unknown policy name {name:?}")))
+}
+
 fn parse_event(toks: &mut Toks<'_>) -> Result<KernelEvent, SnapshotError> {
     let handle = |toks: &mut Toks<'_>| -> Result<TaskHandle, SnapshotError> {
         Ok(TaskHandle::from_raw(toks.u64()?))
@@ -742,28 +795,9 @@ fn parse_event(toks: &mut Toks<'_>) -> Result<KernelEvent, SnapshotError> {
             used: toks.work()?,
             bound: toks.work()?,
         }),
-        "policy" => {
-            let name = toks.word()?;
-            // Map back to the 'static names the policies report; the set
-            // is closed, so an unknown name means corruption.
-            const KNOWN: [&str; 10] = [
-                "EDF",
-                "RM",
-                "StaticEDF",
-                "StaticRM",
-                "ccEDF",
-                "ccRM",
-                "laEDF",
-                "stochEDF",
-                "interval",
-                "manual",
-            ];
-            let name = KNOWN
-                .iter()
-                .find(|k| **k == name)
-                .ok_or_else(|| corrupt(format!("unknown policy name {name:?}")))?;
-            Ok(KernelEvent::PolicyLoaded { name })
-        }
+        "policy" => Ok(KernelEvent::PolicyLoaded {
+            name: intern_policy_name(toks.word()?)?,
+        }),
         "shed" => Ok(KernelEvent::Shed {
             handle: handle(toks)?,
             observed: toks.work()?,
@@ -792,6 +826,24 @@ fn parse_event(toks: &mut Toks<'_>) -> Result<KernelEvent, SnapshotError> {
             bound: toks.work()?,
         }),
         "snapshot" => Ok(KernelEvent::SnapshotTaken),
+        "reg-fallback" => Ok(KernelEvent::RegulatorFallback {
+            desired: toks.usize_()?,
+            applied: toks.usize_()?,
+        }),
+        "cap" => Ok(KernelEvent::BrownoutCapSet {
+            cap: match toks.word()? {
+                "none" => None,
+                tok => Some(
+                    tok.parse::<usize>()
+                        .map_err(|_| corrupt(format!("bad point index {tok:?}")))?,
+                ),
+            },
+        }),
+        "ladder" => Ok(KernelEvent::LadderStepped {
+            from: intern_policy_name(toks.word()?)?,
+            to: intern_policy_name(toks.word()?)?,
+        }),
+        "sup-restored" => Ok(KernelEvent::SupervisorRestored),
         t => Err(corrupt(format!("unknown event {t:?}"))),
     }
 }
@@ -861,6 +913,27 @@ fn restore_from_text(
         }
     };
     t.done()?;
+    let mut t = lines.tagged("cap")?;
+    let brownout_cap = match t.word()? {
+        "none" => None,
+        tok => Some(
+            tok.parse::<usize>()
+                .map_err(|_| corrupt(format!("bad point index {tok:?}")))?,
+        ),
+    };
+    t.done()?;
+    let mut t = lines.tagged("ladder")?;
+    let ladder_pos = t.usize_()?;
+    let ladder_review_at = t.time()?;
+    let fallbacks_at_review = t.u64()?;
+    let preferred_policy = parse_policy_token(t.word()?)?;
+    t.done()?;
+    let mut t = lines.tagged("regulator-stats")?;
+    let transition_retries = t.u64()?;
+    let transition_failures = t.u64()?;
+    let regulator_fallbacks = t.u64()?;
+    let forced_transitions = t.u64()?;
+    t.done()?;
     let mut t = lines.tagged("machine")?;
     let n_points = t.usize_()?;
     let mut pairs = Vec::with_capacity(n_points);
@@ -924,6 +997,19 @@ fn restore_from_text(
         mode_epoch,
         pending_change: None,
         last_snapshot_at,
+        // The regulator and supervisor are live hardware / the restoring
+        // agent; callers re-attach them after restore.
+        regulator: None,
+        brownout_cap,
+        preferred_policy,
+        ladder_pos,
+        ladder_review_at,
+        fallbacks_at_review,
+        transition_retries,
+        transition_failures,
+        regulator_fallbacks,
+        forced_transitions,
+        supervisor: None,
     };
     if let Some(p) = kernel.applied {
         if p >= kernel.machine.len() {

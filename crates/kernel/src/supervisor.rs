@@ -1,0 +1,362 @@
+//! Watchdog supervisor: heartbeats the kernel, detects sustained
+//! regulator trouble, and auto-restores from the last checkpoint.
+//!
+//! A flaky voltage regulator shows up in the kernel as a rising count of
+//! transition failures, safe-point fallbacks, and forced transitions
+//! (`RtKernel::transition_stats`). The supervisor samples those counters
+//! on a fixed virtual-time heartbeat; when a single window accumulates
+//! more trouble than [`SupervisorConfig::trouble_threshold`], it restores
+//! the kernel from its most recent [`Snapshot`] — the simulated
+//! equivalent of a watchdog-initiated crash-restart.
+//!
+//! Restores are rate-limited by an exponential backoff
+//! ([`SupervisorConfig::backoff_base`] doubling up to
+//! [`SupervisorConfig::backoff_max`], halving back down after clean
+//! windows), and a flap detector counts restores that made less than one
+//! heartbeat of forward progress. After
+//! [`SupervisorConfig::flap_limit`] consecutive stalled restores the
+//! supervisor stops restoring ([`SupervisorState::Flapping`]) and pins
+//! the policy degradation ladder at its bottom rung instead: a manual
+//! pin makes no further transitions, so the unreliable regulator is
+//! simply never asked to switch again. That rung always exists, so the
+//! supervisor cannot livelock.
+//!
+//! On restore the live hardware is carried across: the regulator (with
+//! its mutated fault streams) and the external brownout cap are moved
+//! onto the fresh kernel, so the replayed interval faces the same world,
+//! not a rewound copy of it. The virtual clock legitimately rewinds to
+//! the checkpoint instant — exactly what a reboot-and-reload does to a
+//! firmware image.
+
+use rtdvs_core::time::Time;
+
+use crate::kernel::{KernelEvent, RtKernel};
+use crate::snapshot::Snapshot;
+
+/// Tuning knobs for the watchdog supervisor.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Virtual-time interval between counter samples.
+    pub heartbeat: Time,
+    /// Trouble events (failures + fallbacks + forced transitions) in one
+    /// heartbeat window that trigger a restore.
+    pub trouble_threshold: u64,
+    /// Initial (and floor) restore backoff.
+    pub backoff_base: Time,
+    /// Ceiling the backoff doubles up to.
+    pub backoff_max: Time,
+    /// Consecutive stalled restores before the supervisor gives up
+    /// restoring and pins the degradation ladder instead.
+    pub flap_limit: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat: Time::from_ms(100.0),
+            trouble_threshold: 8,
+            backoff_base: Time::from_ms(100.0),
+            backoff_max: Time::from_ms(1600.0),
+            flap_limit: 3,
+        }
+    }
+}
+
+/// Externally visible supervisor condition (surfaced via procfs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorState {
+    /// Clean heartbeat windows; checkpoints are being refreshed.
+    Nominal,
+    /// Trouble seen recently; restores are armed but rate-limited.
+    Backoff,
+    /// Restores stopped making progress; the ladder is pinned and the
+    /// supervisor only observes.
+    Flapping,
+}
+
+impl SupervisorState {
+    /// Lowercase token used by procfs and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SupervisorState::Nominal => "nominal",
+            SupervisorState::Backoff => "backoff",
+            SupervisorState::Flapping => "flapping",
+        }
+    }
+}
+
+/// The watchdog itself. Owned by the kernel it supervises and ticked at
+/// quiescent instants; not serialized into snapshots (it is the thing
+/// doing the restoring).
+pub struct Supervisor {
+    config: SupervisorConfig,
+    state: SupervisorState,
+    next_heartbeat: Time,
+    snapshot: Option<Snapshot>,
+    trouble_at_beat: u64,
+    restores: u64,
+    backoff: Time,
+    backoff_until: Time,
+    restore_floor: Time,
+    stalled_restores: u32,
+}
+
+impl Supervisor {
+    /// A supervisor that will take its first sample one heartbeat after
+    /// `now`, with no checkpoint yet.
+    pub fn new(config: SupervisorConfig, now: Time) -> Supervisor {
+        Supervisor {
+            config,
+            state: SupervisorState::Nominal,
+            next_heartbeat: now + config.heartbeat,
+            snapshot: None,
+            trouble_at_beat: 0,
+            restores: 0,
+            backoff: config.backoff_base,
+            backoff_until: Time::ZERO,
+            restore_floor: Time::ZERO,
+            stalled_restores: 0,
+        }
+    }
+
+    /// Current supervisor condition.
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// How many checkpoint restores this supervisor has performed.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// The configuration it was armed with.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+}
+
+impl RtKernel {
+    /// Arms the watchdog supervisor. Takes an eager checkpoint right
+    /// away when the kernel is checkpointable (no pending mode change,
+    /// no opaque task bodies); otherwise the first checkpoint is taken
+    /// at the first clean heartbeat window, and until one succeeds the
+    /// supervisor can only degrade (pin the ladder), not restore.
+    pub fn arm_supervisor(&mut self, config: SupervisorConfig) {
+        let mut sup = Supervisor::new(config, self.now);
+        sup.trouble_at_beat =
+            self.transition_failures + self.regulator_fallbacks + self.forced_transitions;
+        sup.snapshot = self.checkpoint().ok();
+        self.supervisor = Some(sup);
+    }
+
+    /// Builder form of [`RtKernel::arm_supervisor`].
+    #[must_use]
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.arm_supervisor(config);
+        self
+    }
+
+    /// The supervisor's condition and restore count, or `None` when no
+    /// supervisor is armed.
+    pub fn supervisor_state(&self) -> Option<(SupervisorState, u64)> {
+        self.supervisor.as_ref().map(|s| (s.state(), s.restores()))
+    }
+
+    /// One-line procfs rendering: `off`, or
+    /// `state=<nominal|backoff|flapping> restores=<n> checkpoint=<yes|no>`.
+    pub fn supervisor_status(&self) -> String {
+        match &self.supervisor {
+            None => "off".to_owned(),
+            Some(s) => format!(
+                "state={} restores={} checkpoint={}",
+                s.state.as_str(),
+                s.restores,
+                if s.snapshot.is_some() { "yes" } else { "no" }
+            ),
+        }
+    }
+
+    /// One heartbeat of supervision, called at quiescent instants.
+    /// Returns true when the kernel state changed (a restore happened or
+    /// the ladder was pinned).
+    pub(crate) fn supervisor_tick(&mut self) -> bool {
+        let Some(mut sup) = self.supervisor.take() else {
+            return false;
+        };
+        if !sup.next_heartbeat.at_or_before(self.now) {
+            self.supervisor = Some(sup);
+            return false;
+        }
+        sup.next_heartbeat = self.now + sup.config.heartbeat;
+        let trouble_now =
+            self.transition_failures + self.regulator_fallbacks + self.forced_transitions;
+        let window = trouble_now.saturating_sub(sup.trouble_at_beat);
+        sup.trouble_at_beat = trouble_now;
+
+        if window >= sup.config.trouble_threshold {
+            return self.supervisor_trouble(sup);
+        }
+        if window == 0 {
+            // Clean window: relax toward nominal and refresh the restore
+            // point so a later restore replays as little as possible.
+            sup.state = SupervisorState::Nominal;
+            sup.stalled_restores = 0;
+            sup.backoff =
+                Time::from_ms((sup.backoff.as_ms() / 2.0).max(sup.config.backoff_base.as_ms()));
+            // A failed checkpoint (opaque bodies, staged change) keeps
+            // the previous restore point rather than dropping it.
+            if let Ok(snap) = self.checkpoint() {
+                sup.snapshot = Some(snap);
+            }
+        }
+        self.supervisor = Some(sup);
+        false
+    }
+
+    /// A heartbeat window crossed the trouble threshold: restore from
+    /// the last checkpoint, unless backoff, flapping, or the absence of
+    /// a restore point says otherwise.
+    fn supervisor_trouble(&mut self, mut sup: Supervisor) -> bool {
+        if sup.state != SupervisorState::Flapping {
+            sup.state = SupervisorState::Backoff;
+        }
+        if sup.state == SupervisorState::Flapping || !sup.backoff_until.at_or_before(self.now) {
+            self.supervisor = Some(sup);
+            return false;
+        }
+        if sup.snapshot.is_none() {
+            // Nothing to restore from. Sustained trouble still gets a
+            // response: after flap_limit troubled windows, stop asking
+            // the regulator to transition at all.
+            sup.stalled_restores += 1;
+            if sup.stalled_restores >= sup.config.flap_limit {
+                sup.state = SupervisorState::Flapping;
+                self.supervisor = Some(sup);
+                self.pin_ladder_bottom();
+                return true;
+            }
+            self.supervisor = Some(sup);
+            return false;
+        }
+        // Flap detection: a restore that troubled again within one
+        // heartbeat of where the last restore crashed made no progress.
+        if sup.restores > 0
+            && self
+                .now
+                .at_or_before(sup.restore_floor + sup.config.heartbeat)
+        {
+            sup.stalled_restores += 1;
+        } else {
+            sup.stalled_restores = 0;
+        }
+        if sup.stalled_restores >= sup.config.flap_limit {
+            sup.state = SupervisorState::Flapping;
+            self.supervisor = Some(sup);
+            self.pin_ladder_bottom();
+            return true;
+        }
+        let restored = match sup.snapshot.as_ref() {
+            Some(snap) => snap.restore(),
+            None => return false, // unreachable: checked above
+        };
+        let Ok((mut fresh, _servers)) = restored else {
+            // A corrupt restore point is dropped so the next clean
+            // window replaces it.
+            sup.snapshot = None;
+            self.supervisor = Some(sup);
+            return false;
+        };
+        // Live hardware and external conditions cross the restart: the
+        // regulator keeps its mutated fault streams, the brownout cap is
+        // whatever the world currently imposes.
+        fresh.regulator = self.regulator.take();
+        fresh.brownout_cap = self.brownout_cap;
+        fresh.ladder_review_at = fresh.now;
+        fresh.log.push((fresh.now, KernelEvent::SupervisorRestored));
+        sup.restores += 1;
+        sup.restore_floor = self.now;
+        sup.backoff =
+            Time::from_ms((sup.backoff.as_ms() * 2.0).min(sup.config.backoff_max.as_ms()));
+        sup.backoff_until = fresh.now + sup.backoff;
+        sup.next_heartbeat = fresh.now + sup.config.heartbeat;
+        sup.trouble_at_beat =
+            fresh.transition_failures + fresh.regulator_fallbacks + fresh.forced_transitions;
+        *self = fresh;
+        self.supervisor = Some(sup);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::WcetBody;
+    use rtdvs_core::machine::Machine;
+    use rtdvs_core::policy::PolicyKind;
+    use rtdvs_core::time::Work;
+    use rtdvs_platform::{RegulatorPlan, UnreliableRegulator};
+
+    fn kernel_with_task() -> RtKernel {
+        let mut k = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+        k.spawn(Time::from_ms(10.0), Work::from_ms(3.0), Box::new(WcetBody))
+            .expect("schedulable");
+        k
+    }
+
+    #[test]
+    fn idle_supervisor_stays_nominal_and_checkpoints() {
+        let mut k = kernel_with_task().with_supervisor(SupervisorConfig::default());
+        k.run_for(Time::from_ms(500.0));
+        let (state, restores) = k.supervisor_state().expect("armed");
+        assert_eq!(state, SupervisorState::Nominal);
+        assert_eq!(restores, 0);
+        assert!(k.supervisor_status().contains("checkpoint=yes"));
+        assert_eq!(k.misses().count(), 0);
+    }
+
+    #[test]
+    fn sustained_trouble_triggers_a_restore() {
+        let mut k = kernel_with_task();
+        let cpu = UnreliableRegulator::ideal().cpu().clone();
+        let reg = UnreliableRegulator::new(cpu, RegulatorPlan::new(7).with_failures(0.95));
+        k.attach_regulator(Box::new(reg));
+        k.arm_supervisor(SupervisorConfig {
+            trouble_threshold: 2,
+            ..SupervisorConfig::default()
+        });
+        k.run_for(Time::from_ms(2000.0));
+        let restored = k
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, KernelEvent::SupervisorRestored));
+        let (state, restores) = k.supervisor_state().expect("armed");
+        // Either the watchdog restored at least once, or trouble never
+        // crossed the threshold (possible at some seeds) and it stayed
+        // nominal; at rate 0.95 with ccEDF churn the former holds.
+        assert!(restored, "expected at least one restore, state={state:?}");
+        assert!(restores >= 1);
+    }
+
+    #[test]
+    fn flapping_pins_the_ladder_and_stops_restoring() {
+        let mut k = kernel_with_task();
+        let cpu = UnreliableRegulator::ideal().cpu().clone();
+        let reg = UnreliableRegulator::new(cpu, RegulatorPlan::new(11).with_failures(1.0));
+        k.attach_regulator(Box::new(reg));
+        k.arm_supervisor(SupervisorConfig {
+            trouble_threshold: 1,
+            backoff_base: Time::from_ms(1.0),
+            backoff_max: Time::from_ms(2.0),
+            flap_limit: 2,
+            ..SupervisorConfig::default()
+        });
+        k.run_for(Time::from_ms(5000.0));
+        let (state, _) = k.supervisor_state().expect("armed");
+        if state == SupervisorState::Flapping {
+            // Pinned at the bottom rung: a manual policy.
+            assert!(k.ladder_position() > 0);
+        }
+        // Whatever happened, the kernel made it to the horizon.
+        assert!(k.now().as_ms() >= 5000.0 - 1e-9);
+    }
+}

@@ -27,9 +27,13 @@
 pub mod powernow;
 pub mod presets;
 pub mod probe;
+pub mod regulator;
 pub mod system_power;
 
 pub use powernow::{PowerNowCpu, STOP_INTERVAL_UNIT_US};
 pub use presets::{all_machines, crusoe_tm5400, xscale_80200};
 pub use probe::{energy_in_window, mean_power_in_window, PowerProbe};
+pub use regulator::{
+    Regulator, RegulatorPlan, RegulatorStats, TransitionOutcome, UnreliableRegulator,
+};
 pub use system_power::SystemPowerModel;

@@ -1,0 +1,448 @@
+//! An unreliable voltage/frequency regulator model.
+//!
+//! The paper's prototype drives the K6-2+'s external regulator through five
+//! control pins and a mandatory stop interval (§4.1); everything above the
+//! hardware line assumes the transition lands. Real regulators are less
+//! polite: the EPPI handshake can be ignored under load, the PLL can take
+//! longer than the programmed stop interval to re-lock, and the core
+//! voltage can settle late after a large swing. This module wraps
+//! [`PowerNowCpu`] in a [`Regulator`] that injects exactly those failure
+//! modes, seeded and deterministic, so the kernel's transition driver can
+//! be hardened against them and tested reproducibly.
+//!
+//! # Determinism contract
+//!
+//! The same rules as `rtdvs-sim`'s `FaultPlan` apply: each failure mode
+//! draws from its own [`SplitMix64`] child stream derived from the plan's
+//! seed via [`SplitMix64::split`]; installed streams draw exactly once per
+//! transition attempt (never per outcome), so a stream's position depends
+//! only on how many attempts it has seen; and builders with a non-positive
+//! rate install nothing. A [`RegulatorPlan::ideal`] regulator therefore
+//! performs **zero draws and zero new branches** beyond one `is_active`
+//! check, which is what keeps the committed BENCH goldens byte-identical
+//! when an ideal regulator is attached.
+
+use rtdvs_core::machine::{Machine, MachineError, PointIdx};
+use rtdvs_core::time::Time;
+use rtdvs_sim::SwitchOverhead;
+use rtdvs_taskgen::SplitMix64;
+
+use crate::powernow::PowerNowCpu;
+
+/// Settle penalty of the fail-safe rail ([`Regulator::force`]), in units of
+/// the CPU's programmed stop interval. A forced write bypasses the
+/// handshake and re-locks the PLL and regulator from scratch, which costs
+/// several ordinary transitions' worth of halt time.
+pub const FORCE_SETTLE_MULTIPLIER: f64 = 4.0;
+
+/// Outcome of one transition attempt against a (possibly flaky) regulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransitionOutcome {
+    /// The transition landed. `settle_extra` is any stall *beyond* the
+    /// modeled switch overhead (late voltage settle); zero on a clean
+    /// transition.
+    Applied {
+        /// Extra stall beyond the modeled overhead.
+        settle_extra: Time,
+    },
+    /// The regulator ignored the request; the hardware holds its old point.
+    Failed,
+    /// The handshake timed out: the core stalled for `lost` and the old
+    /// point is still applied.
+    TimedOut {
+        /// Halt time burned by the timed-out handshake.
+        lost: Time,
+    },
+}
+
+/// A hardware frequency/voltage regulator as seen by the kernel's
+/// transition driver: attempts can fail, and a last-resort forced write
+/// always lands (at a price).
+pub trait Regulator {
+    /// Human-readable name for status surfaces.
+    fn name(&self) -> &'static str;
+
+    /// One transition attempt from `from` (or cold start) to `to`.
+    ///
+    /// A request with `from == Some(to)` is not a hardware transition and
+    /// must trivially succeed without consuming randomness.
+    fn attempt(&mut self, from: Option<PointIdx>, to: PointIdx) -> TransitionOutcome;
+
+    /// The fail-safe rail: a direct pin write that bypasses the handshake
+    /// and always lands, returning the settle penalty to charge. The
+    /// driver uses this only after bounded retries exhaust.
+    fn force(&mut self, to: PointIdx) -> Time;
+
+    /// `true` when this regulator can never fail, time out, or jitter.
+    fn is_ideal(&self) -> bool;
+}
+
+/// Ignored transitions: with probability `rate` per attempt, the regulator
+/// holds its old point and reports [`TransitionOutcome::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionFailure {
+    /// Probability that an attempt is ignored.
+    pub rate: f64,
+}
+
+/// Handshake timeouts: with probability `rate` per attempt, the attempt
+/// burns `lost` of halt time and leaves the old point applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionTimeout {
+    /// Probability that an attempt times out.
+    pub rate: f64,
+    /// Halt time burned by one timeout.
+    pub lost: Time,
+}
+
+/// Late voltage settle: with probability `rate` per successful attempt, an
+/// extra stall uniform in `[0, max_extra]` rides on top of the modeled
+/// switch overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettleJitter {
+    /// Probability that a successful transition settles late.
+    pub rate: f64,
+    /// Upper bound of the extra stall.
+    pub max_extra: Time,
+}
+
+/// A seeded, deterministic regulator-failure plan. [`RegulatorPlan::ideal`]
+/// (the [`Default`]) injects nothing and is provably zero-cost; builders
+/// with a non-positive rate install nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegulatorPlan {
+    /// Seed for the per-failure-mode child streams.
+    pub seed: u64,
+    /// Ignored-transition injection.
+    pub failure: Option<TransitionFailure>,
+    /// Handshake-timeout injection.
+    pub timeout: Option<TransitionTimeout>,
+    /// Late-settle injection.
+    pub settle: Option<SettleJitter>,
+}
+
+impl RegulatorPlan {
+    /// The ideal plan: every transition lands cleanly, zero draws.
+    #[must_use]
+    pub fn ideal() -> RegulatorPlan {
+        RegulatorPlan {
+            seed: 0,
+            failure: None,
+            timeout: None,
+            settle: None,
+        }
+    }
+
+    /// An empty plan with a seed, ready for `with_*` builders.
+    #[must_use]
+    pub fn new(seed: u64) -> RegulatorPlan {
+        RegulatorPlan {
+            seed,
+            ..RegulatorPlan::ideal()
+        }
+    }
+
+    /// Enables ignored transitions. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_failures(mut self, rate: f64) -> RegulatorPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        self.failure = (rate > 0.0).then_some(TransitionFailure { rate });
+        self
+    }
+
+    /// Enables handshake timeouts. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_timeouts(mut self, rate: f64, lost: Time) -> RegulatorPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        self.timeout = (rate > 0.0).then_some(TransitionTimeout { rate, lost });
+        self
+    }
+
+    /// Enables late voltage settle. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_settle_jitter(mut self, rate: f64, max_extra: Time) -> RegulatorPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        self.settle = (rate > 0.0).then_some(SettleJitter { rate, max_extra });
+        self
+    }
+
+    /// `true` if any failure mode is installed.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.failure.is_some() || self.timeout.is_some() || self.settle.is_some()
+    }
+}
+
+impl Default for RegulatorPlan {
+    fn default() -> RegulatorPlan {
+        RegulatorPlan::ideal()
+    }
+}
+
+/// Cumulative accounting for one regulator's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegulatorStats {
+    /// Transition attempts seen (including trivial same-point requests).
+    pub attempts: u64,
+    /// Attempts the regulator ignored.
+    pub failures: u64,
+    /// Attempts that burned halt time in a timeout.
+    pub timeouts: u64,
+    /// Fail-safe forced writes.
+    pub forced: u64,
+}
+
+/// [`PowerNowCpu`] wrapped in a seeded unreliable [`Regulator`].
+#[derive(Debug)]
+pub struct UnreliableRegulator {
+    cpu: PowerNowCpu,
+    plan: RegulatorPlan,
+    failure: SplitMix64,
+    timeout: SplitMix64,
+    settle: SplitMix64,
+    stats: RegulatorStats,
+}
+
+/// One Bernoulli draw; always consumes exactly one value from `rng`.
+fn fires(rng: &mut SplitMix64, rate: f64) -> bool {
+    rng.range_f64_inclusive(0.0, 1.0) < rate
+}
+
+impl UnreliableRegulator {
+    /// Wraps `cpu` with the given failure plan.
+    #[must_use]
+    pub fn new(cpu: PowerNowCpu, plan: RegulatorPlan) -> UnreliableRegulator {
+        let root = SplitMix64::seed_from_u64(plan.seed);
+        UnreliableRegulator {
+            cpu,
+            plan,
+            failure: root.split(0x0E_0001),
+            timeout: root.split(0x0E_0002),
+            settle: root.split(0x0E_0003),
+            stats: RegulatorStats::default(),
+        }
+    }
+
+    /// The ideal regulator over the stock prototype CPU: never fails, never
+    /// draws, provably zero-cost next to no regulator at all.
+    #[must_use]
+    pub fn ideal() -> UnreliableRegulator {
+        UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), RegulatorPlan::ideal())
+    }
+
+    /// The wrapped CPU model.
+    #[must_use]
+    pub fn cpu(&self) -> &PowerNowCpu {
+        &self.cpu
+    }
+
+    /// The active failure plan.
+    #[must_use]
+    pub fn plan(&self) -> &RegulatorPlan {
+        &self.plan
+    }
+
+    /// Lifetime accounting.
+    #[must_use]
+    pub fn stats(&self) -> RegulatorStats {
+        self.stats
+    }
+
+    /// The wrapped CPU as a normalized simulator [`Machine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`]; the stock CPU never fails.
+    pub fn machine(&self) -> Result<Machine, MachineError> {
+        self.cpu.machine()
+    }
+
+    /// The wrapped CPU's modeled switch overheads.
+    #[must_use]
+    pub fn switch_overhead(&self) -> SwitchOverhead {
+        self.cpu.switch_overhead()
+    }
+}
+
+impl Regulator for UnreliableRegulator {
+    fn name(&self) -> &'static str {
+        if self.is_ideal() {
+            "powernow-ideal"
+        } else {
+            "powernow-unreliable"
+        }
+    }
+
+    fn attempt(&mut self, from: Option<PointIdx>, to: PointIdx) -> TransitionOutcome {
+        self.stats.attempts += 1;
+        // A same-point request is not a hardware transition: no handshake,
+        // no draws, trivially applied. An ideal plan draws nothing either.
+        if from == Some(to) || !self.plan.is_active() {
+            return TransitionOutcome::Applied {
+                settle_extra: Time::ZERO,
+            };
+        }
+        // Installed streams draw exactly once per attempt, independent of
+        // each other's outcomes, so stream positions depend only on the
+        // attempt count.
+        let failed = self
+            .plan
+            .failure
+            .is_some_and(|f| fires(&mut self.failure, f.rate));
+        let timed_out = self
+            .plan
+            .timeout
+            .map(|t| (fires(&mut self.timeout, t.rate), t.lost));
+        let settled_late = self
+            .plan
+            .settle
+            .map(|s| (fires(&mut self.settle, s.rate), s.max_extra));
+        if failed {
+            self.stats.failures += 1;
+            return TransitionOutcome::Failed;
+        }
+        if let Some((true, lost)) = timed_out {
+            self.stats.timeouts += 1;
+            return TransitionOutcome::TimedOut { lost };
+        }
+        let settle_extra = match settled_late {
+            Some((true, max_extra)) => {
+                Time::from_ms(self.settle.range_f64_inclusive(0.0, max_extra.as_ms()))
+            }
+            _ => Time::ZERO,
+        };
+        TransitionOutcome::Applied { settle_extra }
+    }
+
+    fn force(&mut self, _to: PointIdx) -> Time {
+        self.stats.forced += 1;
+        Time::from_ms(self.cpu.stop_interval().as_ms() * FORCE_SETTLE_MULTIPLIER)
+    }
+
+    fn is_ideal(&self) -> bool {
+        !self.plan.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_plan_is_inactive_and_default() {
+        let p = RegulatorPlan::ideal();
+        assert!(!p.is_active());
+        assert_eq!(p, RegulatorPlan::default());
+    }
+
+    #[test]
+    fn zero_rate_builders_install_nothing() {
+        let p = RegulatorPlan::new(9)
+            .with_failures(0.0)
+            .with_timeouts(0.0, Time::from_ms(0.1))
+            .with_settle_jitter(0.0, Time::from_ms(0.2));
+        assert!(!p.is_active());
+        assert!(UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), p).is_ideal());
+    }
+
+    #[test]
+    fn ideal_regulator_never_draws_or_fails() {
+        let mut r = UnreliableRegulator::ideal();
+        assert!(r.is_ideal());
+        assert_eq!(r.name(), "powernow-ideal");
+        for to in 0..7 {
+            assert_eq!(
+                r.attempt(Some(0), to),
+                TransitionOutcome::Applied {
+                    settle_extra: Time::ZERO
+                }
+            );
+        }
+        assert_eq!(r.stats().failures, 0);
+        assert_eq!(r.stats().timeouts, 0);
+        assert_eq!(r.stats().attempts, 7);
+    }
+
+    #[test]
+    fn same_point_requests_consume_no_randomness() {
+        let plan = RegulatorPlan::new(11).with_failures(1.0);
+        let mut a = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+        let mut b = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+        // `a` sees trivial requests interleaved with real ones; `b` sees
+        // only the real ones. Their streams must stay in lockstep.
+        for i in 0..8 {
+            let _ = a.attempt(Some(3), 3);
+            let real_a = a.attempt(Some(3), 4);
+            let real_b = b.attempt(Some(3), 4);
+            assert_eq!(real_a, real_b, "attempt {i}");
+        }
+    }
+
+    #[test]
+    fn failures_fire_deterministically() {
+        let plan = RegulatorPlan::new(42).with_failures(0.5);
+        let run = || {
+            let mut r = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+            (0..64)
+                .map(|_| matches!(r.attempt(Some(0), 1), TransitionOutcome::Failed))
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|&f| f), "rate 0.5 never failed in 64 tries");
+        assert!(a.iter().any(|&f| !f), "rate 0.5 always failed in 64 tries");
+    }
+
+    #[test]
+    fn timeouts_report_their_halt_cost() {
+        let lost = Time::from_ms(0.2);
+        let plan = RegulatorPlan::new(7).with_timeouts(1.0, lost);
+        let mut r = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+        let mut timed_out = 0;
+        for _ in 0..32 {
+            if let TransitionOutcome::TimedOut { lost: got } = r.attempt(Some(0), 1) {
+                assert_eq!(got, lost);
+                timed_out += 1;
+            }
+        }
+        // `range_f64_inclusive` can return exactly 1.0, so allow a hair
+        // less than all.
+        assert!(timed_out >= 31, "rate-1.0 timeouts fired {timed_out}/32");
+        assert_eq!(r.stats().timeouts, timed_out);
+    }
+
+    #[test]
+    fn settle_jitter_is_bounded() {
+        let max_extra = Time::from_ms(0.3);
+        let plan = RegulatorPlan::new(13).with_settle_jitter(1.0, max_extra);
+        let mut r = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+        for _ in 0..32 {
+            if let TransitionOutcome::Applied { settle_extra } = r.attempt(Some(0), 1) {
+                assert!(settle_extra.as_ms() <= max_extra.as_ms() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn force_always_lands_with_a_fat_penalty() {
+        let plan = RegulatorPlan::new(3).with_failures(1.0);
+        let mut r = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+        let penalty = r.force(6);
+        let stop = r.cpu().stop_interval().as_ms();
+        assert!((penalty.as_ms() - stop * FORCE_SETTLE_MULTIPLIER).abs() < 1e-12);
+        assert_eq!(r.stats().forced, 1);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let plan = RegulatorPlan::new(21)
+            .with_failures(0.3)
+            .with_timeouts(0.3, Time::from_ms(0.1))
+            .with_settle_jitter(0.3, Time::from_ms(0.1));
+        let both = || {
+            let mut r = UnreliableRegulator::new(PowerNowCpu::k6_2_plus_550(), plan);
+            (0..64).map(|_| r.attempt(Some(0), 1)).collect::<Vec<_>>()
+        };
+        assert_eq!(both(), both());
+    }
+}

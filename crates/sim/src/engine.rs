@@ -381,6 +381,7 @@ impl<'a> Engine<'a> {
                         // The set_speed silently failed; the policy believes
                         // it switched, the hardware disagrees. The next
                         // event interval retries.
+                        self.containment.stuck_transitions += 1;
                         self.fault_log.push(FaultEvent::StuckTransition {
                             time: self.now,
                             held: prev,

@@ -258,6 +258,9 @@ pub struct ContainmentStats {
     /// Busy energy charged during that time (the cost of running the
     /// escalated point instead of whatever the policy wanted).
     pub energy: f64,
+    /// How many `set_speed` attempts silently failed (the machine held
+    /// its old point and the next event interval retried).
+    pub stuck_transitions: u64,
 }
 
 /// Per-fault-type child streams, alive only while a plan is active.

@@ -22,6 +22,12 @@
 //!   asserts no commit ever costs a deadline and that every kernel log
 //!   replays clean through the lifecycle auditor, and diffs the result
 //!   against the committed `BENCH_modes.json`.
+//! * `cargo run -p xtask -- regulator` — the regulator-hardening gate:
+//!   delegates to `figures regulator`, which re-runs the regulator-soak
+//!   grid (unreliable regulator plus brownout caps), asserts no miss is
+//!   ever policy-blamed and that the ideal regulator is bit-exact against
+//!   no regulator at all, and diffs the result against the committed
+//!   `BENCH_regulator.json`.
 //! * `cargo run -p xtask -- lint` — repo-specific source lints that
 //!   clippy cannot express:
 //!
@@ -39,6 +45,13 @@
 //! - `kernel-expect` — `.expect(` in `crates/kernel` non-test code. The
 //!   kernel layer is the OS surface: it must degrade (shed, renegotiate,
 //!   recover poisoned locks), never panic on a runtime condition.
+//! - `bounded-retry` — retry machinery in `crates/kernel` or
+//!   `crates/platform` non-test code that hides its attempt bound: a bare
+//!   `loop {` wrapped around attempt/retry logic (the bound, if any, is a
+//!   runtime condition), or a `for … in 0..N` retry loop capped by a
+//!   magic number instead of a named const. Hardware that can fail
+//!   forever must be retried a compile-visible number of times
+//!   (`MAX_TRANSITION_ATTEMPTS`-style) with backoff, then fall back.
 //! - `mode-change-mutation` — direct mutation of the kernel's entry table
 //!   (`entries.push(`, `entries.remove(`, ...) in `crates/kernel`
 //!   non-test code outside `modechange.rs`. The transaction module owns
@@ -72,8 +85,9 @@ fn main() -> ExitCode {
         Some("bench-check") => figures_gate("check", &args[1..]),
         Some("chaos") => figures_gate("chaos", &args[1..]),
         Some("modes") => figures_gate("modes", &args[1..]),
+        Some("regulator") => figures_gate("regulator", &args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos|modes>");
+            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos|modes|regulator>");
             ExitCode::from(2)
         }
     }
@@ -89,7 +103,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` is the in-process
 /// pass (empty argv); everything else shells out to cargo so the stages
 /// are exactly what a contributor would type.
-const STAGES: [Stage; 10] = [
+const STAGES: [Stage; 11] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -166,6 +180,20 @@ const STAGES: [Stage; 10] = [
             "figures",
             "--",
             "modes",
+        ],
+    },
+    Stage {
+        name: "regulator",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "regulator",
         ],
     },
 ];
@@ -379,6 +407,7 @@ fn load_allowlist(path: &Path) -> Vec<(String, String)> {
 fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let in_core = rel.starts_with("crates/core/");
     let in_kernel = rel.starts_with("crates/kernel/");
+    let in_platform = rel.starts_with("crates/platform/");
     let is_time = rel == "crates/core/src/time.rs";
     let in_policy = rel.starts_with("crates/core/src/policy/") && !rel.ends_with("/mod.rs");
     let lines: Vec<&str> = source.lines().collect();
@@ -437,6 +466,10 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                       (see server.rs's lock_recovering)"
                     .to_owned(),
             });
+        }
+
+        if in_kernel || in_platform {
+            check_bounded_retry(rel, &lines, idx, &line, findings);
         }
 
         if in_kernel && !rel.ends_with("/modechange.rs") {
@@ -585,6 +618,66 @@ fn is_floaty(token: &str) -> bool {
         .trim_start_matches(['(', '['])
         .trim_end_matches([')', ']', ';', '{', '}']);
     trimmed.contains('.') && trimmed.parse::<f64>().is_ok()
+}
+
+/// How far past a `loop {` the bounded-retry rule looks for retry
+/// vocabulary before deciding the loop is retry machinery.
+const RETRY_WINDOW_LINES: usize = 25;
+
+/// Flags retry machinery whose attempt bound is not compile-visible:
+/// a bare `loop {` whose body talks about attempts/retries (any exit is a
+/// runtime condition — a wedged regulator spins it forever), or a
+/// `for <attempt-ish> in 0..N` loop capped by a magic number rather than
+/// a named const.
+fn check_bounded_retry(
+    rel: &str,
+    lines: &[&str],
+    idx: usize,
+    line: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if line.contains("loop {") {
+        let end = lines.len().min(idx + 1 + RETRY_WINDOW_LINES);
+        let retryish = lines[idx + 1..end]
+            .iter()
+            .map(|l| strip_strings_and_comments(l).to_lowercase())
+            .any(|l| l.contains("retry") || l.contains("attempt"));
+        if retryish {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: idx + 1,
+                rule: "bounded-retry",
+                msg: "unbounded `loop {` around retry logic; cap it with \
+                      `for attempt in 0..<NAMED_CONST>` plus backoff, then fall back"
+                    .to_owned(),
+            });
+        }
+        return;
+    }
+    let Some(rest) = line.trim_start().strip_prefix("for ") else {
+        return;
+    };
+    let Some((var, tail)) = rest.split_once(" in ") else {
+        return;
+    };
+    let v = var.trim().to_lowercase();
+    if !(v.contains("attempt") || v.contains("retry")) {
+        return;
+    }
+    let Some((_, bound)) = tail.split_once("..") else {
+        return;
+    };
+    let bound = bound.trim_start_matches('=').trim_start();
+    if bound.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        findings.push(Finding {
+            path: rel.to_owned(),
+            line: idx + 1,
+            rule: "bounded-retry",
+            msg: "retry loop capped by a magic number; name the cap as a const \
+                  (MAX_TRANSITION_ATTEMPTS-style) so the bound is compile-visible"
+                .to_owned(),
+        });
+    }
 }
 
 /// Flags a `pub fn` returning `PointIdx` that lacks `#[must_use]`.
