@@ -1,0 +1,494 @@
+//! A hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with byte spans and 1-based line numbers.
+//! It exists because line-oriented scanning (the old
+//! `strip_strings_and_comments` in `xtask`) has unfixable false-negative
+//! classes: raw strings (`r#"…"#`), nested block comments
+//! (`/* /* */ */`), char literals containing quotes (`'"'`), and strings
+//! spanning lines. The lexer resolves all of those the way `rustc` does,
+//! to the fidelity the downstream passes need:
+//!
+//! * raw strings and raw byte/C strings with any number of `#` guards;
+//! * nested block comments, line comments, and doc comments (kept as
+//!   tokens so consumers can blank or inspect them);
+//! * lifetimes vs char literals (`'a` vs `'a'`, including `'"'`);
+//! * raw identifiers (`r#type`);
+//! * numeric literals with separators, radix prefixes, exponents, and
+//!   type suffixes.
+//!
+//! Punctuation is emitted one char per token; multi-char operators are
+//! recognized by consumers via adjacency (Rust never allows whitespace
+//! inside `==`, `::`, `+=`, …, and consecutive punct tokens in the
+//! stream always came from adjacent bytes of one operator or from
+//! operator sequences like `!(` that no pass confuses).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without a closing quote).
+    Lifetime,
+    /// A char or byte-char literal, quotes included.
+    CharLit,
+    /// A string literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    StrLit,
+    /// An integer or float literal, suffix included.
+    NumLit,
+    /// A single punctuation character.
+    Punct,
+    /// A non-doc comment (`//…` or `/* … */`, nesting handled).
+    Comment,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+}
+
+/// One lexed token: kind plus byte span and starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// and comments extend to end of input, and bytes the lexer does not
+/// recognize become single-char [`TokenKind::Punct`] tokens.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let start = self.i;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => {
+                    self.bump();
+                    self.string_body(start, line);
+                }
+                b'\'' => self.quote(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(b) => self.ident_or_prefixed(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        // `///` and `//!` are doc comments; `////…` is not (like rustc).
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/' | b'!'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let kind = if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::Comment
+        };
+        self.push(kind, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        // `/**` and `/*!` are doc comments; `/**/` and `/***` are not.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'*'), Some(b'*' | b'/')) => false,
+            (Some(b'*' | b'!'), _) => true,
+            _ => false,
+        };
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        let kind = if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::Comment
+        };
+        self.push(kind, start, line);
+    }
+
+    /// Body of a non-raw string, opening quote already consumed.
+    fn string_body(&mut self, start: usize, line: u32) {
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break,
+            }
+        }
+        self.push(TokenKind::StrLit, start, line);
+    }
+
+    /// Raw string with `hashes` guards; lexer is positioned at the `"`.
+    fn raw_string_body(&mut self, start: usize, line: u32, hashes: usize) {
+        self.bump(); // the opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                    self.bump();
+                    if closed {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+                None => break,
+            }
+        }
+        self.push(TokenKind::StrLit, start, line);
+    }
+
+    /// A `'`: char literal or lifetime.
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump();
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape, then to closing '.
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(|b| b != b'\'') {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::CharLit, start, line);
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` is a char literal, `'a` / `'static` a lifetime.
+                let mut k = 1;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                let is_char = self.peek(k) == Some(b'\'');
+                for _ in 0..k {
+                    self.bump();
+                }
+                if is_char {
+                    self.bump();
+                    self.push(TokenKind::CharLit, start, line);
+                } else {
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) if self.peek(1) == Some(b'\'') => {
+                // Punctuation char literal: '(', ' ', '"'.
+                self.bump();
+                self.bump();
+                self.push(TokenKind::CharLit, start, line);
+            }
+            _ => self.push(TokenKind::Punct, start, line),
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            self.push(TokenKind::NumLit, start, line);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+        // Fractional part only when a digit follows the dot: `1.5` is a
+        // float, `1.min(2)` is an int then a method call.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Type suffix: `u64`, `f64`, `usize`, …
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::NumLit, start, line);
+    }
+
+    /// An identifier, or a string/char with an `r`/`b`/`c` prefix, or a
+    /// raw identifier `r#ident`.
+    fn ident_or_prefixed(&mut self, start: usize, line: u32) {
+        let b0 = self.peek(0);
+        // Raw strings: r"…", r#"…"#; raw byte/C strings via the b/c arm.
+        if b0 == Some(b'r') {
+            let mut hashes = 0;
+            while self.peek(1 + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(1 + hashes) == Some(b'"') {
+                self.bump(); // r
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_string_body(start, line, hashes);
+                return;
+            }
+            if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`.
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, start, line);
+                return;
+            }
+        }
+        if matches!(b0, Some(b'b' | b'c')) {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body(start, line);
+                    return;
+                }
+                Some(b'\'') if b0 == Some(b'b') => {
+                    // Byte-char literal: `quote` spans from `start`, so the
+                    // `b` prefix is included in the token.
+                    self.bump();
+                    self.quote(start, line);
+                    return;
+                }
+                Some(b'r') => {
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some(b'"') {
+                        self.bump();
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        self.raw_string_body(start, line, hashes);
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+}
+
+/// Rebuilds `src` line by line with comments blanked and string/char
+/// literal contents replaced by spaces, preserving byte columns.
+///
+/// This is the shared foundation the migrated `xtask lint` rules scan:
+/// they see exactly the code rustc sees, with literal and comment text
+/// unable to fake code patterns. String literals keep a `"` at each end
+/// (so shapes like `.expect("…")` survive); char literals and comments
+/// are blanked entirely; everything else is byte-for-byte the source.
+#[must_use]
+pub fn sanitized_lines(src: &str, tokens: &[Token]) -> Vec<String> {
+    let mut bytes: Vec<u8> = src.as_bytes().to_vec();
+    for t in tokens {
+        let blank_all = match t.kind {
+            TokenKind::Comment | TokenKind::DocComment | TokenKind::CharLit => true,
+            TokenKind::StrLit => false,
+            _ => continue,
+        };
+        for b in &mut bytes[t.start..t.end] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        if !blank_all && t.end - t.start >= 2 {
+            bytes[t.start] = b'"';
+            bytes[t.end - 1] = b'"';
+        }
+    }
+    // The blanking only ever rewrites bytes to ASCII spaces or quotes, but
+    // multi-byte UTF-8 sequences inside literals/comments are rewritten
+    // wholesale, so the result is valid UTF-8 again.
+    String::from_utf8_lossy(&bytes)
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let q = '\"'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::CharLit && s == "'a'"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::CharLit && s == "'\"'"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let s = r#"he said ".unwrap()" loudly"#; s.len()"####;
+        let toks = kinds(src);
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::StrLit);
+        assert!(lit.is_some_and(|(_, s)| s.contains(".unwrap()")));
+        // The `.len()` after the literal is real code.
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "len"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let toks = kinds("1_000u64 0xFFu8 1.5e-3 1.min(2)");
+        assert_eq!(toks[0], (TokenKind::NumLit, "1_000u64".into()));
+        assert_eq!(toks[1], (TokenKind::NumLit, "0xFFu8".into()));
+        assert_eq!(toks[2], (TokenKind::NumLit, "1.5e-3".into()));
+        // `1.min(2)`: int literal, dot, ident.
+        assert_eq!(toks[3], (TokenKind::NumLit, "1".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "min".into()));
+    }
+}

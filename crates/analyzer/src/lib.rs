@@ -1,0 +1,210 @@
+//! Std-only static analysis for the RT-DVS workspace.
+//!
+//! The reproduction's headline guarantees — byte-identical sweep
+//! goldens, a crash-consistent kernel, bounded mode-change retries —
+//! are *dynamic* properties checked by golden traces and chaos gates.
+//! This crate adds the static half: a hand-rolled Rust lexer
+//! ([`lexer`]), an item/call-graph extractor ([`items`]), and three
+//! interprocedural passes ([`passes`]) that together answer questions
+//! the line-oriented `xtask lint` rules could not:
+//!
+//! * does any nondeterminism source flow into result-affecting code?
+//! * what is the panic surface of the sim scheduling loop and the
+//!   kernel transition driver, and is their own budget zero?
+//! * do the kernel/server lock acquisition orders admit a cycle?
+//!
+//! Policy lives in a manifest ([`manifest`], `xtask/analyzer-manifest.txt`)
+//! and results in a versioned report ([`report`], `rtdvs-analysis/v1`)
+//! compared byte-for-byte against a checked-in baseline by
+//! `xtask analyze`.
+//!
+//! Everything here is std-only: no registry dependencies, no `syn`. The
+//! lexer is honest about the hard cases (raw strings, nested block
+//! comments, lifetime-vs-char-literal) and the extractor is a linear
+//! token scan with a scope stack — enough precision for a workspace
+//! that this crate also analyzes, and cheap enough to run in CI on
+//! every push.
+
+pub mod items;
+pub mod lexer;
+pub mod manifest;
+pub mod passes;
+pub mod report;
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use items::{build_graph, extract_fns, FnInfo, ItemGraph};
+use lexer::{lex, Token};
+use manifest::Manifest;
+use report::{Finding, Report};
+
+/// One source file: workspace-relative path plus contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (`crates/sim/src/engine.rs`).
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// The loaded workspace: files in sorted path order, each lexed once.
+/// Every pass shares these token streams — the single-lexer property
+/// that retired `strip_strings_and_comments`.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// `tokens[i]` is the token stream of `files[i]`.
+    pub tokens: Vec<Vec<Token>>,
+}
+
+impl Workspace {
+    /// Loads `.rs` files under each of `tops` (relative to `root`),
+    /// skipping `tests/`, `benches/`, `examples/`, and `target/`
+    /// directories — the same file set `xtask lint` scans. Paths are
+    /// sorted, so reports are stable across platforms.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from directory walks and file reads.
+    pub fn load(root: &Path, tops: &[&str]) -> std::io::Result<Self> {
+        let mut paths = Vec::new();
+        for top in tops {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths)?;
+            }
+        }
+        let mut rels: Vec<String> = paths
+            .iter()
+            .filter_map(|p| {
+                let rel = p.strip_prefix(root).ok()?;
+                Some(rel.to_string_lossy().replace('\\', "/"))
+            })
+            .filter(|rel| {
+                !rel.contains("/tests/")
+                    && !rel.contains("/benches/")
+                    && !rel.contains("/examples/")
+                    && !rel.contains("/target/")
+            })
+            .collect();
+        rels.sort();
+        rels.dedup();
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in rels {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile { path: rel, text });
+        }
+        Ok(Self::from_files(files))
+    }
+
+    /// Builds a workspace from in-memory sources (fixture tests).
+    #[must_use]
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile {
+                path: (*p).to_owned(),
+                text: (*s).to_owned(),
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Self::from_files(files)
+    }
+
+    fn from_files(files: Vec<SourceFile>) -> Self {
+        let tokens = files.iter().map(|f| lex(&f.text)).collect();
+        Self { files, tokens }
+    }
+
+    /// Extracts the item graph for the whole workspace.
+    #[must_use]
+    pub fn item_graph(&self) -> ItemGraph {
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for (i, f) in self.files.iter().enumerate() {
+            fns.extend(extract_fns(i, &f.path, &f.text, &self.tokens[i]));
+        }
+        let paths: Vec<String> = self.files.iter().map(|f| f.path.clone()).collect();
+        build_graph(fns, &paths)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name != "target" {
+                collect_rs(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of a full analysis: the report plus waiver accounting.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The canonical report (findings already filtered by waivers).
+    pub report: Report,
+    /// Waivers from the manifest that matched no finding — stale
+    /// entries, promoted to hard errors by `xtask analyze`.
+    pub unused_allows: Vec<(String, String)>,
+}
+
+/// Runs every pass over the workspace and applies manifest waivers.
+///
+/// A waiver `allow <pass> <path>` suppresses all findings of that pass
+/// in that file; each waiver must suppress at least one finding or it
+/// is reported in [`Analysis::unused_allows`].
+#[must_use]
+pub fn analyze(ws: &Workspace, manifest: &Manifest) -> Analysis {
+    let graph = ws.item_graph();
+    let mut findings: Vec<Finding> = Vec::new();
+    findings.extend(passes::determinism::run(ws, &graph, manifest));
+    findings.extend(passes::panic::run(ws, &graph, manifest));
+    findings.extend(passes::lockorder::run(ws, &graph, manifest));
+
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    findings.retain(|f| {
+        let hit = manifest
+            .allow
+            .iter()
+            .position(|(pass, path)| pass == f.pass && path == &f.path);
+        if let Some(k) = hit {
+            used.insert(k);
+            false
+        } else {
+            true
+        }
+    });
+    let unused_allows: Vec<(String, String)> = manifest
+        .allow
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !used.contains(k))
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    let deny_panic_roots = graph
+        .fns
+        .iter()
+        .filter(|f| !f.is_test && manifest.is_deny_panic(&f.qual))
+        .count();
+    let mut report = Report {
+        files: ws.files.len(),
+        functions: graph.fns.len(),
+        call_edges: graph.edges,
+        deny_panic_roots,
+        findings,
+    };
+    report.sort();
+    Analysis {
+        report,
+        unused_allows,
+    }
+}

@@ -1,0 +1,126 @@
+//! The analyzer manifest: which code each pass holds to which standard.
+//!
+//! Plain line-oriented text (like `xtask/lint-allow.txt`), one directive
+//! per line, `#` comments:
+//!
+//! ```text
+//! deny-panic   engine.rs::Engine::run      # zero-panic-budget function
+//! result-path  crates/sim                  # determinism-critical code
+//! lock-path    crates/kernel               # lock-order pass scope
+//! allow        determinism crates/bench/src/stats.rs   # per-file waiver
+//! ```
+//!
+//! * `deny-panic <qual-suffix>` — the named function (matched by suffix
+//!   of its qualified name) carries a **zero** panic budget: any direct
+//!   panic site in its body is a finding that cannot be baselined away.
+//! * `result-path <prefix>` — files under this prefix are
+//!   result-affecting: nondeterminism flowing into them is a finding.
+//! * `lock-path <prefix>` — files under this prefix are in scope for the
+//!   lock-order pass.
+//! * `allow <pass> <path>` — suppress a pass's findings for one file.
+//!   Unused `allow` lines are themselves errors (stale waivers rot).
+
+use std::fs;
+use std::path::Path;
+
+/// Parsed manifest. See the module docs for the file format.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// Qualified-name suffixes of zero-panic-budget functions.
+    pub deny_panic: Vec<String>,
+    /// Path prefixes of result-affecting code (determinism pass scope).
+    pub result_paths: Vec<String>,
+    /// Path prefixes in scope for the lock-order pass.
+    pub lock_paths: Vec<String>,
+    /// `(pass, path)` waivers.
+    pub allow: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Parses manifest text. Unknown directives are errors — a typo'd
+    /// directive silently weakening the gate is the worst failure mode.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut m = Manifest::default();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let directive = it.next().unwrap_or("");
+            let arg = |it: &mut dyn Iterator<Item = &str>| -> Result<String, String> {
+                it.next().map(str::to_owned).ok_or_else(|| {
+                    format!("manifest line {}: `{directive}` needs an argument", n + 1)
+                })
+            };
+            match directive {
+                "deny-panic" => m.deny_panic.push(arg(&mut it)?),
+                "result-path" => m.result_paths.push(arg(&mut it)?),
+                "lock-path" => m.lock_paths.push(arg(&mut it)?),
+                "allow" => {
+                    let pass = arg(&mut it)?;
+                    let path = arg(&mut it)?;
+                    m.allow.push((pass, path));
+                }
+                other => {
+                    return Err(format!(
+                        "manifest line {}: unknown directive `{other}`",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses a manifest file.
+    pub fn load(path: &Path) -> Result<Manifest, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+        Manifest::parse(&text)
+    }
+
+    /// Whether `qual` names a zero-panic-budget function.
+    #[must_use]
+    pub fn is_deny_panic(&self, qual: &str) -> bool {
+        self.deny_panic.iter().any(|s| qual.ends_with(s.as_str()))
+    }
+
+    /// Whether `path` is result-affecting.
+    #[must_use]
+    pub fn is_result_path(&self, path: &str) -> bool {
+        self.result_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` is in lock-order scope.
+    #[must_use]
+    pub fn is_lock_path(&self, path: &str) -> bool {
+        self.lock_paths.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_directives_and_rejects_unknown_ones() {
+        let m = Manifest::parse(
+            "# comment\n\
+             deny-panic engine.rs::Engine::run\n\
+             result-path crates/sim   # trailing comment\n\
+             lock-path crates/kernel\n\
+             allow determinism crates/bench/src/stats.rs\n",
+        )
+        .unwrap();
+        assert!(m.is_deny_panic("crates/sim/src/engine.rs::Engine::run"));
+        assert!(!m.is_deny_panic("crates/sim/src/engine.rs::Engine::ready"));
+        assert!(m.is_result_path("crates/sim/src/engine.rs"));
+        assert!(m.is_lock_path("crates/kernel/src/server.rs"));
+        assert_eq!(m.allow.len(), 1);
+        assert!(Manifest::parse("nonsense foo\n").is_err());
+        assert!(Manifest::parse("deny-panic\n").is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Determinism pass.
+//!
+//! Every guarantee the bench gates make — byte-identical sweep goldens,
+//! bit-exact ideal-regulator columns, bitwise-neutral mode-change
+//! rejection — assumes the result path is a pure function of its seeds.
+//! This pass taints the *sources* of nondeterminism and flags any that
+//! sit in (or flow into) result-affecting code (`result-path` manifest
+//! prefixes: `core`, `sim`, `kernel`, `taskgen`, `audit`, and the bench
+//! reduction modules).
+//!
+//! Taint sources, detected on the token stream:
+//! * `Instant::now` / `SystemTime::now` — wall-clock reads;
+//! * `thread::current` — thread identity;
+//! * `env::var` / `env::vars` / `env::var_os` — environment reads;
+//! * `{:p}` pointer-value formatting — ASLR leaks into output;
+//! * `HashMap`/`HashSet` construction with the default `RandomState`
+//!   *in a function that also iterates* — iteration order is seeded per
+//!   process. (Pure lookup maps are deterministic and exempt.)
+//!
+//! Taint propagates up the call graph: a function calling a tainted one
+//! is tainted. Findings are emitted for result-affecting functions only:
+//! direct sources name the source; transitive ones name the callee they
+//! inherit the taint from.
+
+use crate::items::ItemGraph;
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Manifest;
+use crate::report::Finding;
+use crate::Workspace;
+
+/// A direct nondeterminism source in a function body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    /// 1-based line.
+    pub line: u32,
+    /// What was found (`Instant::now`, `{:p} formatting`, …).
+    pub what: String,
+}
+
+/// Iteration vocabulary that turns a default-hashed map into a
+/// nondeterminism source.
+const ITERATION_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Scans a body token range for direct nondeterminism sources.
+#[must_use]
+pub fn source_sites(src: &str, tokens: &[Token], range: (usize, usize)) -> Vec<SourceSite> {
+    let sig: Vec<&Token> = tokens[range.0..range.1.min(tokens.len())]
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment | TokenKind::DocComment))
+        .collect();
+    let text = |k: usize| -> &str { sig[k].text(src) };
+    let mut out = Vec::new();
+    let mut hash_container: Option<(u32, &str)> = None;
+    let mut iterates = false;
+
+    for i in 0..sig.len() {
+        if sig[i].kind != TokenKind::Ident {
+            if sig[i].kind == TokenKind::StrLit {
+                let t = text(i);
+                if t.contains(":p}") || t.contains("{:p") {
+                    out.push(SourceSite {
+                        line: sig[i].line,
+                        what: "{:p} pointer-value formatting".to_owned(),
+                    });
+                }
+            }
+            continue;
+        }
+        let name = text(i);
+        // `Q::m` patterns: ident `:` `:` ident.
+        let qualified_by = |q: &str, i: usize| -> bool {
+            i >= 3 && text(i - 1) == ":" && text(i - 2) == ":" && text(i - 3) == q
+        };
+        match name {
+            "now" if qualified_by("Instant", i) => out.push(SourceSite {
+                line: sig[i].line,
+                what: "Instant::now".to_owned(),
+            }),
+            "now" if qualified_by("SystemTime", i) => out.push(SourceSite {
+                line: sig[i].line,
+                what: "SystemTime::now".to_owned(),
+            }),
+            "current" if qualified_by("thread", i) => out.push(SourceSite {
+                line: sig[i].line,
+                what: "thread::current".to_owned(),
+            }),
+            "var" | "vars" | "var_os" if qualified_by("env", i) => out.push(SourceSite {
+                line: sig[i].line,
+                what: format!("env::{name}"),
+            }),
+            // Default-`RandomState` construction: `HashMap::new()`,
+            // `::default()`, `::with_capacity(…)`. `with_hasher` is
+            // the deterministic spelling and exempt.
+            "HashMap" | "HashSet"
+                if i + 3 < sig.len()
+                    && text(i + 1) == ":"
+                    && text(i + 2) == ":"
+                    && matches!(text(i + 3), "new" | "default" | "with_capacity") =>
+            {
+                hash_container = Some((
+                    sig[i].line,
+                    if name == "HashMap" {
+                        "HashMap"
+                    } else {
+                        "HashSet"
+                    },
+                ));
+            }
+            m if ITERATION_METHODS.contains(&m)
+                && i > 0
+                && text(i - 1) == "."
+                && sig.get(i + 1).is_some_and(|t| t.text(src) == "(") =>
+            {
+                iterates = true;
+            }
+            _ => {}
+        }
+    }
+    if let (Some((line, which)), true) = (hash_container, iterates) {
+        out.push(SourceSite {
+            line,
+            what: format!(
+                "{which} with default RandomState in an iterating function \
+                 (iteration order is per-process random)"
+            ),
+        });
+    }
+    out
+}
+
+/// Runs the pass over the whole workspace.
+#[must_use]
+pub fn run(ws: &Workspace, graph: &ItemGraph, manifest: &Manifest) -> Vec<Finding> {
+    let n = graph.fns.len();
+    let sites: Vec<Vec<SourceSite>> = graph
+        .fns
+        .iter()
+        .map(|f| {
+            if f.is_test {
+                return Vec::new();
+            }
+            let file = &ws.files[f.file];
+            f.body
+                .map(|r| source_sites(&file.text, &ws.tokens[f.file], r))
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Propagate taint up the call graph (reverse BFS from sources).
+    // `tainted_via[f]` records which callee made `f` dirty.
+    let mut tainted = vec![false; n];
+    let mut tainted_via: Vec<Option<usize>> = vec![None; n];
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, s) in sites.iter().enumerate() {
+        if !s.is_empty() {
+            tainted[i] = true;
+            queue.push(i);
+        }
+    }
+    while let Some(f) = queue.pop() {
+        for &caller in &graph.callers[f] {
+            if !tainted[caller] && !graph.fns[caller].is_test {
+                tainted[caller] = true;
+                tainted_via[caller] = Some(f);
+                queue.push(caller);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || !tainted[i] {
+            continue;
+        }
+        let path = &ws.files[f.file].path;
+        if !manifest.is_result_path(path) {
+            continue;
+        }
+        if sites[i].is_empty() {
+            // Transitive: name the callee the taint came through.
+            let via = tainted_via[i].map_or("?", |v| graph.fns[v].qual.as_str());
+            findings.push(Finding {
+                pass: "determinism",
+                path: path.clone(),
+                line: f.line,
+                symbol: f.qual.clone(),
+                detail: format!("result-affecting function calls tainted `{via}`"),
+            });
+        } else {
+            for s in &sites[i] {
+                findings.push(Finding {
+                    pass: "determinism",
+                    path: path.clone(),
+                    line: s.line,
+                    symbol: f.qual.clone(),
+                    detail: format!("nondeterminism source in result-affecting code: {}", s.what),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,223 @@
+//! Lock-order pass.
+//!
+//! Extracts `Mutex`/`RwLock` acquisition sequences from the kernel and
+//! server layers (`lock-path` manifest prefixes) and rejects cycles in
+//! the resulting lock graph — the classic static deadlock check.
+//!
+//! An acquisition is a `recv.lock()`, `recv.read()`, or `recv.write()`
+//! call with **no arguments** (the empty parens distinguish lock
+//! acquisition from `io::Read::read(&mut buf)`-style calls). The lock's
+//! identity is the receiver name (`shared`, `slots`) — field- and
+//! variable-level granularity, which matches how this workspace names
+//! its locks one per protected structure.
+//!
+//! Ordering is over-approximated conservatively within each function:
+//! once a lock is acquired, every later acquisition in the same body —
+//! including those made by callees, transitively — is treated as nested
+//! inside it. False edges are possible (a guard dropped early), false
+//! *missing* edges only when a call crosses an unresolved graph edge.
+//! Cycles `A → B → … → A` are reported with a witness edge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{is_non_call_keyword, ItemGraph};
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Manifest;
+use crate::report::Finding;
+use crate::Workspace;
+
+/// One event in a function body, in source order.
+#[derive(Debug, Clone)]
+pub enum LockEvent {
+    /// Acquisition of the named lock at the given line.
+    Acquire(String, u32),
+    /// Resolved call into another workspace function (graph index).
+    Call(usize),
+}
+
+/// Token scan emitting acquisitions and resolved calls in source order.
+/// `calls`/`per_call` come from the item graph and are matched to call
+/// sites positionally (by name, to stay in sync with `extract_calls`).
+fn body_events(
+    src: &str,
+    tokens: &[Token],
+    range: (usize, usize),
+    calls: &[crate::items::CallSite],
+    per_call: &[Option<usize>],
+) -> Vec<LockEvent> {
+    let sig: Vec<&Token> = tokens[range.0..range.1.min(tokens.len())]
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment | TokenKind::DocComment))
+        .collect();
+    let text = |k: usize| -> &str { sig[k].text(src) };
+    let mut out = Vec::new();
+    let mut call_no = 0usize;
+    for i in 0..sig.len() {
+        if sig[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(i);
+        if sig.get(i + 1).is_none_or(|t| t.text(src) != "(") {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(&text);
+        if prev == Some("!") || prev == Some("fn") || is_non_call_keyword(name) {
+            continue;
+        }
+        let empty_args = sig.get(i + 2).is_some_and(|t| t.text(src) == ")");
+        let is_method = i >= 2 && prev == Some(".") && sig[i - 2].kind == TokenKind::Ident;
+        if matches!(name, "lock" | "read" | "write") && empty_args && is_method {
+            out.push(LockEvent::Acquire(text(i - 2).to_owned(), sig[i].line));
+        } else if calls.get(call_no).is_some_and(|c| c.name == name) {
+            if let Some(Some(t)) = per_call.get(call_no) {
+                out.push(LockEvent::Call(*t));
+            }
+        }
+        // Keep the positional cursor in sync with `extract_calls`, which
+        // records lock()-style method calls as ordinary call sites too.
+        if calls.get(call_no).is_some_and(|c| c.name == name) {
+            call_no += 1;
+        }
+    }
+    out
+}
+
+/// Runs the pass over the whole workspace.
+#[must_use]
+pub fn run(ws: &Workspace, graph: &ItemGraph, manifest: &Manifest) -> Vec<Finding> {
+    let n = graph.fns.len();
+    let events: Vec<Vec<LockEvent>> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if f.is_test || !manifest.is_lock_path(&ws.files[f.file].path) {
+                return Vec::new();
+            }
+            let Some(range) = f.body else {
+                return Vec::new();
+            };
+            // Per-call resolution: first graph callee sharing the name.
+            let per_call: Vec<Option<usize>> = f
+                .calls
+                .iter()
+                .map(|c| {
+                    graph.callees[i]
+                        .iter()
+                        .copied()
+                        .find(|&t| graph.fns[t].name == c.name)
+                })
+                .collect();
+            body_events(
+                &ws.files[f.file].text,
+                &ws.tokens[f.file],
+                range,
+                &f.calls,
+                &per_call,
+            )
+        })
+        .collect();
+
+    // Transitive acquire sets via fixpoint (the graph may be recursive).
+    let mut acq: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for (i, evs) in events.iter().enumerate() {
+        for e in evs {
+            if let LockEvent::Acquire(l, _) = e {
+                acq[i].insert(l.clone());
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for e in &events[i] {
+                if let LockEvent::Call(t) = e {
+                    let add: Vec<String> = acq[*t].difference(&acq[i]).cloned().collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        acq[i].extend(add);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: lock A held → lock B acquired later (directly or via call),
+    // with a witness location per edge.
+    let mut edge_witness: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (i, evs) in events.iter().enumerate() {
+        let path = &ws.files[graph.fns[i].file].path;
+        for (k, e) in evs.iter().enumerate() {
+            let LockEvent::Acquire(a, line) = e else {
+                continue;
+            };
+            for later in &evs[k + 1..] {
+                match later {
+                    LockEvent::Acquire(b, _) if b != a => {
+                        edge_witness
+                            .entry((a.clone(), b.clone()))
+                            .or_insert_with(|| (path.clone(), *line));
+                    }
+                    LockEvent::Call(t) => {
+                        for b in &acq[*t] {
+                            if b != a {
+                                edge_witness
+                                    .entry((a.clone(), b.clone()))
+                                    .or_insert_with(|| (path.clone(), *line));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock graph; each cycle reported once in
+    // canonical rotation (starting at its lexicographically first lock).
+    let locks: BTreeSet<&String> = edge_witness.keys().flat_map(|(a, b)| [a, b]).collect();
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &locks {
+        let mut stack: Vec<(String, Vec<String>)> =
+            vec![((*start).clone(), vec![(*start).clone()])];
+        while let Some((cur, path)) = stack.pop() {
+            for ((a, b), w) in &edge_witness {
+                if a != &cur {
+                    continue;
+                }
+                if b == *start {
+                    let mut canon = path.clone();
+                    let min_at = canon
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.as_str())
+                        .map_or(0, |(i, _)| i);
+                    canon.rotate_left(min_at);
+                    if reported.insert(canon.clone()) {
+                        findings.push(Finding {
+                            pass: "lock-order",
+                            path: w.0.clone(),
+                            line: w.1,
+                            symbol: canon.join(" -> "),
+                            detail: format!(
+                                "lock-order cycle: {} -> {} closes a loop; acquisitions \
+                                 must follow one global order",
+                                canon.join(" -> "),
+                                canon[0]
+                            ),
+                        });
+                    }
+                } else if !path.contains(b) && path.len() <= locks.len() {
+                    let mut next = path.clone();
+                    next.push(b.clone());
+                    stack.push((b.clone(), next));
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,15 @@
+//! The interprocedural analysis passes.
+//!
+//! Each pass consumes the shared [`crate::items::ItemGraph`] and the
+//! [`crate::manifest::Manifest`] and produces [`crate::report::Finding`]s:
+//!
+//! * [`determinism`] — taints nondeterminism sources and flags flows
+//!   into result-affecting code;
+//! * [`panic`] — computes the panic surface and enforces zero-budget
+//!   functions;
+//! * [`lockorder`] — extracts lock-acquisition orders and rejects
+//!   cycles in the lock graph.
+
+pub mod determinism;
+pub mod lockorder;
+pub mod panic;

@@ -1,0 +1,147 @@
+//! The machine-readable analysis report (`rtdvs-analysis/v1`).
+//!
+//! `xtask analyze` renders a [`Report`] to canonical JSON and compares
+//! it byte-for-byte against the checked-in `analysis.json` baseline.
+//! Exact comparison enforces both directions at once: a new finding
+//! fails the gate, and a finding that disappeared (fixed, or a stale
+//! waiver) fails it too until the baseline is regenerated with
+//! `xtask analyze --write` — the analysis equivalent of a golden trace.
+
+/// One finding from any pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Pass name: `determinism`, `panic`, or `lock-order`.
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Qualified symbol the finding is about (may be empty).
+    pub symbol: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The full report: workspace summary plus sorted findings.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions extracted.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Zero-panic-budget functions checked.
+    pub deny_panic_roots: usize,
+    /// All findings, canonically sorted.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Canonical JSON rendering: stable key order, sorted findings,
+    /// trailing newline, no floats — byte-identical across runs and
+    /// platforms for the same workspace state.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"format\": \"rtdvs-analysis/v1\",\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!("    \"files\": {},\n", self.files));
+        out.push_str(&format!("    \"functions\": {},\n", self.functions));
+        out.push_str(&format!("    \"call_edges\": {},\n", self.call_edges));
+        out.push_str(&format!(
+            "    \"deny_panic_roots\": {},\n",
+            self.deny_panic_roots
+        ));
+        out.push_str(&format!(
+            "    \"findings\": {}\n  }},\n",
+            self.findings.len()
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { \"pass\": ");
+            json_str(&mut out, f.pass);
+            out.push_str(", \"path\": ");
+            json_str(&mut out, &f.path);
+            out.push_str(&format!(", \"line\": {}, \"symbol\": ", f.line));
+            json_str(&mut out, &f.symbol);
+            out.push_str(", \"detail\": ");
+            json_str(&mut out, &f.detail);
+            out.push_str(" }");
+        }
+        if self.findings.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Sorts findings into the canonical order used by [`Self::to_json`].
+    pub fn sort(&mut self) {
+        self.findings.sort();
+    }
+}
+
+/// Appends `s` as a JSON string literal.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Report {
+            files: 2,
+            functions: 3,
+            call_edges: 1,
+            deny_panic_roots: 1,
+            findings: vec![
+                Finding {
+                    pass: "panic",
+                    path: "b.rs".into(),
+                    line: 2,
+                    symbol: "f".into(),
+                    detail: "say \"why\"".into(),
+                },
+                Finding {
+                    pass: "determinism",
+                    path: "a.rs".into(),
+                    line: 1,
+                    symbol: "g".into(),
+                    detail: "x".into(),
+                },
+            ],
+        };
+        r.sort();
+        let js = r.to_json();
+        assert!(js.starts_with("{\n  \"format\": \"rtdvs-analysis/v1\""));
+        assert!(js.contains("\\\"why\\\""));
+        // determinism sorts before panic.
+        assert!(js.find("determinism").unwrap() < js.find("panic\"").unwrap());
+        assert!(js.ends_with("\n}\n"));
+        assert_eq!(js, {
+            let mut again = r.clone();
+            again.sort();
+            again.to_json()
+        });
+    }
+}

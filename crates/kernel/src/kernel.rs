@@ -1354,7 +1354,7 @@ impl RtKernel {
         'targets: for target in desired..=top {
             for attempt in 0..MAX_TRANSITION_ATTEMPTS {
                 if attempt > 0 || target > desired {
-                    self.transition_retries += 1;
+                    self.transition_retries = self.transition_retries.saturating_add(1);
                 }
                 match reg.attempt(self.applied, target) {
                     TransitionOutcome::Applied { settle_extra } => {
@@ -1363,10 +1363,10 @@ impl RtKernel {
                         break 'targets;
                     }
                     TransitionOutcome::Failed => {
-                        self.transition_failures += 1;
+                        self.transition_failures = self.transition_failures.saturating_add(1);
                     }
                     TransitionOutcome::TimedOut { lost } => {
-                        self.transition_failures += 1;
+                        self.transition_failures = self.transition_failures.saturating_add(1);
                         extra_stall += lost;
                     }
                 }
@@ -1377,7 +1377,7 @@ impl RtKernel {
             Some(p) => p,
             None => {
                 extra_stall += reg.force(top);
-                self.forced_transitions += 1;
+                self.forced_transitions = self.forced_transitions.saturating_add(1);
                 top
             }
         };
@@ -1386,7 +1386,7 @@ impl RtKernel {
             self.stall_until = self.stall_until.max(self.now) + extra_stall;
         }
         if final_point != desired {
-            self.regulator_fallbacks += 1;
+            self.regulator_fallbacks = self.regulator_fallbacks.saturating_add(1);
             self.log.push((
                 self.now,
                 KernelEvent::RegulatorFallback {

@@ -93,8 +93,12 @@ impl EnergyMeter {
         let op = machine.point(point);
         let work = duration.work_at(op.freq);
         self.busy_energy += work.as_ms() * op.energy_per_work();
-        self.busy_time[point] += duration;
-        self.work_done[point] += work;
+        if let Some(t) = self.busy_time.get_mut(point) {
+            *t += duration;
+        }
+        if let Some(w) = self.work_done.get_mut(point) {
+            *w += work;
+        }
     }
 
     /// Charges `duration` of halted time at `point`.
@@ -104,7 +108,9 @@ impl EnergyMeter {
         }
         let op = machine.point(point);
         self.idle_energy += duration.as_ms() * op.idle_power(self.idle_level);
-        self.idle_time[point] += duration;
+        if let Some(t) = self.idle_time.get_mut(point) {
+            *t += duration;
+        }
     }
 
     /// Records `duration` of voltage/frequency-transition stall. The

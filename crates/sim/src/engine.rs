@@ -176,18 +176,32 @@ impl<'a> Engine<'a> {
     }
 
     fn remaining(&self, i: usize) -> Work {
-        (self.rt[i].actual - self.rt[i].executed).clamp_non_negative()
+        self.rt
+            .get(i)
+            .map_or(Work::ZERO, |s| (s.actual - s.executed).clamp_non_negative())
+    }
+
+    /// Total lookup into the quarantine set; out-of-range reads as clean.
+    fn is_quarantined(&self, i: usize) -> bool {
+        self.quarantined.get(i).copied().unwrap_or(false)
     }
 
     fn complete(&mut self, i: usize) {
-        self.rt[i].executed = self.rt[i].actual;
-        self.rt[i].state = InvState::Completed;
-        self.stats[i].record_completion(self.rt[i].deadline - self.now);
+        let Some(rt) = self.rt.get_mut(i) else {
+            return;
+        };
+        rt.executed = rt.actual;
+        rt.state = InvState::Completed;
+        let executed = rt.executed;
+        let slack = rt.deadline - self.now;
+        if let Some(st) = self.stats.get_mut(i) {
+            st.record_completion(slack);
+        }
         if let Some(tr) = &mut self.trace {
             tr.record_event(TraceEvent::Completion {
                 time: self.now,
                 task: TaskId(i),
-                executed: self.rt[i].executed,
+                executed,
             });
         }
         self.notify(TaskId(i), false);
@@ -228,35 +242,41 @@ impl<'a> Engine<'a> {
 
     /// Handles an invocation still outstanding at its deadline.
     fn handle_deadline_miss(&mut self, i: usize) {
+        let remaining = self.remaining(i);
+        let Some((deadline, invocation)) = self.rt.get(i).map(|s| (s.deadline, s.invocation))
+        else {
+            return;
+        };
         self.misses.push(DeadlineMiss {
             task: TaskId(i),
-            deadline: self.rt[i].deadline,
-            invocation: self.rt[i].invocation,
-            remaining: self.remaining(i),
+            deadline,
+            invocation,
+            remaining,
         });
-        let remaining = self.remaining(i);
         if let Some(tr) = &mut self.trace {
             tr.record_event(TraceEvent::Miss {
                 time: self.now,
                 task: TaskId(i),
-                deadline: self.rt[i].deadline,
+                deadline,
                 remaining,
             });
         }
         let period = self.tasks.task(TaskId(i)).period();
+        let Some(rt) = self.rt.get_mut(i) else {
+            return;
+        };
         match self.cfg.miss_policy {
             MissPolicy::DropRemaining => {
                 // Abandon the leftover work; the task waits for its next
                 // release.
-                let rt = &mut self.rt[i];
                 rt.actual = rt.executed;
                 rt.state = InvState::Completed;
             }
             MissPolicy::SkipRelease => {
                 // Let the old invocation overrun into the next period; its
                 // next release is skipped entirely.
-                self.rt[i].deadline += period;
-                self.rt[i].next_release += period;
+                rt.deadline += period;
+                rt.next_release += period;
             }
         }
     }
@@ -264,7 +284,9 @@ impl<'a> Engine<'a> {
     fn release(&mut self, i: usize) {
         let period = self.tasks.task(TaskId(i)).period();
         let gap = self.inter_arrival(i);
-        let rt = &mut self.rt[i];
+        let Some(rt) = self.rt.get_mut(i) else {
+            return;
+        };
         debug_assert!(
             rt.state != InvState::Active,
             "deadline processing precedes releases"
@@ -303,17 +325,20 @@ impl<'a> Engine<'a> {
             }
         }
         rt.actual = actual;
-        self.stats[i].releases += 1;
+        if let Some(st) = self.stats.get_mut(i) {
+            st.releases += 1;
+        }
         if let Some(tr) = &mut self.trace {
-            let rt = &self.rt[i];
-            tr.record_event(TraceEvent::Release {
-                time: self.now,
-                task: TaskId(i),
-                invocation: rt.invocation,
-                deadline: rt.deadline,
-                next_release: rt.next_release,
-                actual: rt.actual,
-            });
+            if let Some(rt) = self.rt.get(i) {
+                tr.record_event(TraceEvent::Release {
+                    time: self.now,
+                    task: TaskId(i),
+                    invocation: rt.invocation,
+                    deadline: rt.deadline,
+                    next_release: rt.next_release,
+                    actual: rt.actual,
+                });
+            }
         }
         self.notify(TaskId(i), true);
     }
@@ -323,30 +348,47 @@ impl<'a> Engine<'a> {
     /// misses, then releases, repeating until quiescent (a release with
     /// zero actual work completes immediately).
     fn process_due_events(&mut self, releases_allowed: bool) {
+        // Each phase snapshots its due set before acting: the handlers only
+        // mutate the task they are given (plus shared logs/rng, drawn in the
+        // same ascending order), so the snapshot is behavior-identical to
+        // re-checking per index — and keeps this loop free of `rt[i]` panics.
         loop {
             let mut progressed = false;
-            for i in 0..self.rt.len() {
-                if self.rt[i].state == InvState::Active && !self.remaining(i).is_positive() {
-                    self.complete(i);
-                    progressed = true;
-                }
+            let done: Vec<usize> = self
+                .rt
+                .iter()
+                .enumerate()
+                .filter(|&(i, s)| s.state == InvState::Active && !self.remaining(i).is_positive())
+                .map(|(i, _)| i)
+                .collect();
+            for i in done {
+                self.complete(i);
+                progressed = true;
             }
-            for i in 0..self.rt.len() {
-                if self.rt[i].state == InvState::Active
-                    && self.rt[i].deadline.at_or_before(self.now)
-                {
-                    self.handle_deadline_miss(i);
-                    progressed = true;
-                }
+            let missed: Vec<usize> = self
+                .rt
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state == InvState::Active && s.deadline.at_or_before(self.now))
+                .map(|(i, _)| i)
+                .collect();
+            for i in missed {
+                self.handle_deadline_miss(i);
+                progressed = true;
             }
             if releases_allowed {
-                for i in 0..self.rt.len() {
-                    if self.rt[i].state != InvState::Active
-                        && self.rt[i].next_release.at_or_before(self.now)
-                    {
-                        self.release(i);
-                        progressed = true;
-                    }
+                let due: Vec<usize> = self
+                    .rt
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        s.state != InvState::Active && s.next_release.at_or_before(self.now)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in due {
+                    self.release(i);
+                    progressed = true;
                 }
             }
             if !progressed {
@@ -432,22 +474,30 @@ impl<'a> Engine<'a> {
             return;
         }
         for i in 0..self.rt.len() {
-            if self.rt[i].state != InvState::Active {
-                self.quarantined[i] = false;
+            let Some((state, executed, invocation)) =
+                self.rt.get(i).map(|s| (s.state, s.executed, s.invocation))
+            else {
+                continue;
+            };
+            if state != InvState::Active {
+                if let Some(q) = self.quarantined.get_mut(i) {
+                    *q = false;
+                }
                 continue;
             }
-            if self.quarantined[i] {
+            if self.is_quarantined(i) {
                 continue;
             }
             let wcet = self.tasks.task(TaskId(i)).wcet();
-            if self.rt[i].executed.as_ms() >= wcet.as_ms() - EPS && self.remaining(i).is_positive()
-            {
-                self.quarantined[i] = true;
+            if executed.as_ms() >= wcet.as_ms() - EPS && self.remaining(i).is_positive() {
+                if let Some(q) = self.quarantined.get_mut(i) {
+                    *q = true;
+                }
                 self.containment.activations += 1;
                 self.fault_log.push(FaultEvent::Containment {
                     time: self.now,
                     task: TaskId(i),
-                    invocation: self.rt[i].invocation,
+                    invocation,
                 });
             }
         }
@@ -498,7 +548,7 @@ impl<'a> Engine<'a> {
         self.process_due_events(true);
 
         loop {
-            self.events += 1;
+            self.events = self.events.saturating_add(1);
             let prev_now = self.now;
             // Grant any due policy review (e.g. laEDF re-planning at its
             // deferral boundary when no release landed there — possible
@@ -527,8 +577,8 @@ impl<'a> Engine<'a> {
             self.update_quarantine();
             let mut ready = self.ready();
             let containing = self.quarantined.iter().any(|&q| q);
-            if containing && ready.iter().any(|(id, _)| !self.quarantined[id.0]) {
-                ready.retain(|(id, _)| !self.quarantined[id.0]);
+            if containing && ready.iter().any(|(id, _)| !self.is_quarantined(id.0)) {
+                ready.retain(|(id, _)| !self.is_quarantined(id.0));
             }
             let running = self.policy.scheduler().pick_next(self.tasks, &ready);
             let desired = if running.is_some() {
@@ -565,10 +615,10 @@ impl<'a> Engine<'a> {
                 // its own: stop exactly when the invocation reaches its
                 // declared WCET so the quarantine begins on time.
                 if self.faults.as_ref().is_some_and(|f| f.plan.containment)
-                    && !self.quarantined[id.0]
+                    && !self.is_quarantined(id.0)
                 {
-                    let budget =
-                        (self.tasks.task(id).wcet() - self.rt[id.0].executed).clamp_non_negative();
+                    let executed = self.rt.get(id.0).map_or(Work::ZERO, |s| s.executed);
+                    let budget = (self.tasks.task(id).wcet() - executed).clamp_non_negative();
                     t_next = t_next.min(exec_start + budget.duration_at(op.freq));
                 }
             }
@@ -595,9 +645,13 @@ impl<'a> Engine<'a> {
                     Some(id) => {
                         self.meter.charge_busy(self.machine, point, d);
                         let work = d.work_at(op.freq);
-                        self.rt[id.0].executed += work;
-                        self.stats[id.0].work += work;
-                        self.stats[id.0].energy += work.as_ms() * op.energy_per_work();
+                        if let Some(s) = self.rt.get_mut(id.0) {
+                            s.executed += work;
+                        }
+                        if let Some(st) = self.stats.get_mut(id.0) {
+                            st.work += work;
+                            st.energy += work.as_ms() * op.energy_per_work();
+                        }
                         if containing {
                             self.containment.time += d;
                             self.containment.energy += work.as_ms() * op.energy_per_work();

@@ -28,8 +28,19 @@
 //!   ever policy-blamed and that the ideal regulator is bit-exact against
 //!   no regulator at all, and diffs the result against the committed
 //!   `BENCH_regulator.json`.
+//! * `cargo run -p xtask -- analyze` — the static-analysis gate:
+//!   delegates to `rtdvs-analyzer` (lexer, item/call graph, and the
+//!   determinism / panic-reachability / lock-order passes, configured by
+//!   `xtask/analyzer-manifest.txt`), renders the `rtdvs-analysis/v1`
+//!   report, and compares it byte-for-byte against the checked-in
+//!   `analysis.json` baseline. `--write` regenerates the baseline after
+//!   an intentional change. Unused manifest waivers are hard errors.
 //! * `cargo run -p xtask -- lint` — repo-specific source lints that
-//!   clippy cannot express:
+//!   clippy cannot express. The line scanners run over
+//!   `rtdvs_analyzer::lexer::sanitized_lines` — the shared lexer blanks
+//!   comments, char literals, and string interiors (including raw
+//!   strings and nested block comments, which the old per-line stripper
+//!   mis-lexed) while preserving byte columns:
 //!
 //! - `no-unwrap` — `.unwrap()` (or `.expect("")` with an empty message) in
 //!   `crates/core` non-test code. Library code must propagate `Result` or
@@ -62,7 +73,9 @@
 //!
 //! Findings can be suppressed per file via `xtask/lint-allow.txt`
 //! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
-//! Exits non-zero when any finding remains, so CI can gate on it.
+//! An allowlist entry that no longer suppresses anything is itself an
+//! error — stale waivers rot. Exits non-zero when any finding remains,
+//! so CI can gate on it.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -81,29 +94,33 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(&args[1..]),
         Some("ci") => ci(&args[1..]),
         Some("bench-check") => figures_gate("check", &args[1..]),
         Some("chaos") => figures_gate("chaos", &args[1..]),
         Some("modes") => figures_gate("modes", &args[1..]),
         Some("regulator") => figures_gate("regulator", &args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|ci|bench-check|chaos|modes|regulator>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint|analyze|ci|bench-check|chaos|modes|regulator>"
+            );
             ExitCode::from(2)
         }
     }
 }
 
 /// One stage of the CI gate: a name and the argv it runs (always `cargo`
-/// from the workspace root), or the in-process lint pass.
+/// from the workspace root), or — with an empty argv — an in-process
+/// pass dispatched by name (`lint`, `analyze`).
 struct Stage {
     name: &'static str,
     args: &'static [&'static str],
 }
 
-/// The full local gate, in dependency order. `lint` is the in-process
-/// pass (empty argv); everything else shells out to cargo so the stages
-/// are exactly what a contributor would type.
-const STAGES: [Stage; 11] = [
+/// The full local gate, in dependency order. `lint` and `analyze` are
+/// the in-process passes (empty argv); everything else shells out to
+/// cargo so the stages are exactly what a contributor would type.
+const STAGES: [Stage; 12] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -114,6 +131,10 @@ const STAGES: [Stage; 11] = [
     },
     Stage {
         name: "lint",
+        args: &[],
+    },
+    Stage {
+        name: "analyze",
         args: &[],
     },
     Stage {
@@ -242,7 +263,11 @@ fn ci(args: &[String]) -> ExitCode {
         println!("==> {}", stage.name);
         let start = Instant::now();
         let ok = if stage.args.is_empty() {
-            lint() == ExitCode::SUCCESS
+            let code = match stage.name {
+                "analyze" => analyze(&[]),
+                _ => lint(),
+            };
+            code == ExitCode::SUCCESS
         } else {
             match Command::new("cargo")
                 .args(stage.args)
@@ -322,26 +347,17 @@ fn repo_root() -> PathBuf {
 
 fn lint() -> ExitCode {
     let root = repo_root();
-    let mut files = Vec::new();
-    for top in ["crates", "src"] {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
+    let ws = match rtdvs_analyzer::Workspace::load(&root, &["crates", "src"]) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint: cannot load workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut findings = Vec::new();
-    for file in &files {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
-            continue;
-        }
-        let Ok(source) = fs::read_to_string(file) else {
-            continue;
-        };
-        scan_file(&rel, &source, &mut findings);
+    for file in &ws.files {
+        findings.extend(scan_source(&file.path, &file.text));
     }
 
     let allow = load_allowlist(&root.join("xtask/lint-allow.txt"));
@@ -355,15 +371,24 @@ fn lint() -> ExitCode {
         }
         true
     });
+    let mut stale = false;
     for (i, (rule, path)) in allow.iter().enumerate() {
         if !used[i] {
-            eprintln!("note: unused allowlist entry `{rule} {path}`");
+            eprintln!(
+                "error: unused allowlist entry `{rule} {path}` in xtask/lint-allow.txt; \
+                 the finding it suppressed is gone — delete the entry"
+            );
+            stale = true;
         }
     }
 
     if findings.is_empty() {
-        println!("xtask lint: clean ({} files)", files.len());
-        return ExitCode::SUCCESS;
+        println!("xtask lint: clean ({} files)", ws.files.len());
+        return if stale {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     for f in &findings {
@@ -373,20 +398,120 @@ fn lint() -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
+/// Lexes one source file and runs every line rule over its sanitized
+/// lines. Shared by `lint()` and the regression tests below.
+fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let tokens = rtdvs_analyzer::lexer::lex(source);
+    let sanitized = rtdvs_analyzer::lexer::sanitized_lines(source, &tokens);
+    let mut findings = Vec::new();
+    scan_file(rel, source, &sanitized, &mut findings);
+    findings
+}
+
+/// The static-analysis gate: run `rtdvs-analyzer` over the workspace,
+/// fail on unused manifest waivers, and hold the report byte-exact
+/// against the checked-in `analysis.json` (or regenerate it with
+/// `--write`).
+fn analyze(args: &[String]) -> ExitCode {
+    let mut write = false;
+    for a in args {
+        match a.as_str() {
+            "--write" => write = true,
+            other => {
+                eprintln!("unknown `analyze` argument {other}");
+                eprintln!("usage: cargo run -p xtask -- analyze [--write]");
+                return ExitCode::from(2);
             }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
         }
+    }
+    let root = repo_root();
+    let ws = match rtdvs_analyzer::Workspace::load(&root, &["crates", "src"]) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot load workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest =
+        match rtdvs_analyzer::manifest::Manifest::load(&root.join("xtask/analyzer-manifest.txt")) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("xtask analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let analysis = rtdvs_analyzer::analyze(&ws, &manifest);
+
+    let mut failed = false;
+    for (pass, path) in &analysis.unused_allows {
+        eprintln!(
+            "error: unused waiver `allow {pass} {path}` in xtask/analyzer-manifest.txt; \
+             the finding it suppressed is gone — delete the waiver"
+        );
+        failed = true;
+    }
+
+    let json = analysis.report.to_json();
+    let baseline_path = root.join("analysis.json");
+    if write {
+        if let Err(e) = fs::write(&baseline_path, &json) {
+            eprintln!(
+                "xtask analyze: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: wrote {} ({} finding(s))",
+            baseline_path.display(),
+            analysis.report.findings.len()
+        );
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let baseline = fs::read_to_string(&baseline_path).unwrap_or_default();
+    if baseline != json {
+        eprintln!("xtask analyze: report differs from the checked-in analysis.json baseline.");
+        report_baseline_diff(&baseline, &json);
+        eprintln!(
+            "If the change is intentional, regenerate with \
+             `cargo run -p xtask -- analyze --write` and commit the result."
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask analyze: baseline exact ({} files, {} functions, {} finding(s))",
+            analysis.report.files,
+            analysis.report.functions,
+            analysis.report.findings.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints the finding lines present on only one side of a baseline
+/// mismatch — enough to act on without a JSON diff tool.
+fn report_baseline_diff(baseline: &str, current: &str) {
+    let pick = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with("{ \"pass\""))
+            .map(str::to_owned)
+            .collect()
+    };
+    let old = pick(baseline);
+    let new = pick(current);
+    for l in new.iter().filter(|l| !old.contains(l)) {
+        eprintln!("  new finding: {}", l.trim().trim_end_matches(','));
+    }
+    for l in old.iter().filter(|l| !new.contains(l)) {
+        eprintln!("  gone from baseline: {}", l.trim().trim_end_matches(','));
     }
 }
 
@@ -404,7 +529,7 @@ fn load_allowlist(path: &Path) -> Vec<(String, String)> {
         .collect()
 }
 
-fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+fn scan_file(rel: &str, source: &str, sanitized: &[String], findings: &mut Vec<Finding>) {
     let in_core = rel.starts_with("crates/core/");
     let in_kernel = rel.starts_with("crates/kernel/");
     let in_platform = rel.starts_with("crates/platform/");
@@ -413,15 +538,17 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = source.lines().collect();
 
     // Depth > 0 means we are inside a `#[cfg(test)]` item and skip it;
-    // `armed` bridges the gap between the attribute and its `{`.
+    // `armed` bridges the gap between the attribute and its `{`. The
+    // attribute is matched on the sanitized line, so `#[cfg(test)]`
+    // inside a comment or string does not arm the skip.
     let mut test_depth = 0usize;
     let mut armed = false;
-    for (idx, raw) in lines.iter().enumerate() {
-        if raw.contains("#[cfg(test)]") {
+    for idx in 0..lines.len() {
+        let line = sanitized.get(idx).map_or("", |s| s.as_str());
+        if line.contains("#[cfg(test)]") {
             armed = true;
             continue;
         }
-        let line = strip_strings_and_comments(raw);
         if armed || test_depth > 0 {
             let opens = line.matches('{').count();
             let closes = line.matches('}').count();
@@ -446,7 +573,7 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                         .to_owned(),
                 });
             }
-            if raw.contains(".expect(\"\")") {
+            if line.contains(".expect(\"\")") {
                 findings.push(Finding {
                     path: rel.to_owned(),
                     line: n,
@@ -469,7 +596,7 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
 
         if in_kernel || in_platform {
-            check_bounded_retry(rel, &lines, idx, &line, findings);
+            check_bounded_retry(rel, sanitized, idx, line, findings);
         }
 
         if in_kernel && !rel.ends_with("/modechange.rs") {
@@ -500,9 +627,9 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
 
         if !is_time {
-            for (op_at, op_len) in float_cmp_sites(&line) {
-                let lhs = token_before(&line, op_at);
-                let rhs = token_after(&line, op_at + op_len);
+            for (op_at, op_len) in float_cmp_sites(line) {
+                let lhs = token_before(line, op_at);
+                let rhs = token_after(line, op_at + op_len);
                 if is_floaty(lhs) || is_floaty(rhs) {
                     findings.push(Finding {
                         path: rel.to_owned(),
@@ -530,39 +657,6 @@ fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             check_must_use(rel, &lines, idx, findings);
         }
     }
-}
-
-/// Blanks out double-quoted string contents and cuts `//` comments so the
-/// line scanners only see code. (Char literals and raw strings are rare
-/// enough here not to matter; a false hit can be allowlisted.)
-fn strip_strings_and_comments(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    let mut chars = raw.chars().peekable();
-    let mut in_string = false;
-    while let Some(c) = chars.next() {
-        if in_string {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => {
-                    in_string = false;
-                    out.push('"');
-                }
-                _ => {}
-            }
-        } else {
-            match c {
-                '"' => {
-                    in_string = true;
-                    out.push('"');
-                }
-                '/' if chars.peek() == Some(&'/') => break,
-                _ => out.push(c),
-            }
-        }
-    }
-    out
 }
 
 /// Byte offsets (and operator lengths) of `==`/`!=` sites in a line,
@@ -631,16 +725,16 @@ const RETRY_WINDOW_LINES: usize = 25;
 /// a named const.
 fn check_bounded_retry(
     rel: &str,
-    lines: &[&str],
+    sanitized: &[String],
     idx: usize,
     line: &str,
     findings: &mut Vec<Finding>,
 ) {
     if line.contains("loop {") {
-        let end = lines.len().min(idx + 1 + RETRY_WINDOW_LINES);
-        let retryish = lines[idx + 1..end]
+        let end = sanitized.len().min(idx + 1 + RETRY_WINDOW_LINES);
+        let retryish = sanitized[idx + 1..end]
             .iter()
-            .map(|l| strip_strings_and_comments(l).to_lowercase())
+            .map(|l| l.to_lowercase())
             .any(|l| l.contains("retry") || l.contains("attempt"));
         if retryish {
             findings.push(Finding {
@@ -717,4 +811,69 @@ fn check_must_use(rel: &str, lines: &[&str], idx: usize, findings: &mut Vec<Find
         rule: "must-use-point",
         msg: "pub fn returning PointIdx lacks #[must_use]".to_owned(),
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan_source;
+
+    /// The retired per-line stripper treated the second line of a
+    /// multi-line string literal as code; the shared lexer knows the
+    /// string is still open.
+    #[test]
+    fn multiline_strings_do_not_leak_code_to_the_scanners() {
+        let src = "fn f() -> String {\n    format!(\n        \"x == y.as_ms()\n         more text.unwrap()\"\n    )\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert!(
+            findings.is_empty(),
+            "string contents flagged: {:?}",
+            findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+        );
+    }
+
+    /// Raw strings with embedded quotes flipped the old stripper's
+    /// in-string state; everything after the inner `"` leaked as code.
+    #[test]
+    fn raw_strings_with_embedded_quotes_stay_opaque() {
+        let src = "fn f() -> &'static str {\n    r#\"say \"hi\" then x.unwrap() == 1.0\"#\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "raw-string contents flagged");
+    }
+
+    /// The old stripper never handled block comments at all, let alone
+    /// nested ones.
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "fn f() {\n    /* outer /* inner */ still comment: x.unwrap() */\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "block-comment contents flagged");
+    }
+
+    /// A `'"'` char literal put the old stripper into string mode and
+    /// swallowed the rest of the line — hiding real violations.
+    #[test]
+    fn char_literal_quote_does_not_hide_violations() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    let _c = '\"';\n    o.unwrap()\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "the unwrap after '\"' must be seen");
+        assert_eq!(findings[0].rule, "no-unwrap");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    /// `#[cfg(test)]` in a doc comment must not arm the test-code skip.
+    #[test]
+    fn cfg_test_in_comments_does_not_arm_the_skip() {
+        let src = "/// Mentions #[cfg(test)] in prose.\nfn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-unwrap");
+    }
+
+    /// Real test modules are still skipped.
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(o: Option<u32>) {\n        o.unwrap();\n    }\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "test-module unwrap flagged");
+    }
 }
