@@ -94,6 +94,7 @@ mod tests {
             clamp_events: 0,
             faults: vec![],
             containment: ContainmentStats::default(),
+            sched_ns: 0,
         }
     }
 

@@ -446,7 +446,7 @@ impl std::error::Error for ArtifactError {}
 /// A parsed JSON value. Numbers keep their source text so 64-bit seeds
 /// round-trip without `f64` truncation.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(String),
@@ -456,7 +456,7 @@ enum Json {
 }
 
 impl Json {
-    fn parse(text: &str) -> Result<Json, ArtifactError> {
+    pub(crate) fn parse(text: &str) -> Result<Json, ArtifactError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let value = parse_value(bytes, &mut pos)?;
@@ -467,7 +467,7 @@ impl Json {
         Ok(value)
     }
 
-    fn get(&self, key: &str) -> Result<&Json, ArtifactError> {
+    pub(crate) fn get(&self, key: &str) -> Result<&Json, ArtifactError> {
         match self {
             Json::Obj(fields) => fields
                 .iter()
@@ -478,21 +478,21 @@ impl Json {
         }
     }
 
-    fn as_str(&self) -> Result<&str, ArtifactError> {
+    pub(crate) fn as_str(&self) -> Result<&str, ArtifactError> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(ArtifactError(format!("expected string, found {other:?}"))),
         }
     }
 
-    fn as_array(&self) -> Result<&[Json], ArtifactError> {
+    pub(crate) fn as_array(&self) -> Result<&[Json], ArtifactError> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(ArtifactError(format!("expected array, found {other:?}"))),
         }
     }
 
-    fn as_f64(&self) -> Result<f64, ArtifactError> {
+    pub(crate) fn as_f64(&self) -> Result<f64, ArtifactError> {
         match self {
             Json::Num(raw) => raw
                 .parse::<f64>()
@@ -501,7 +501,7 @@ impl Json {
         }
     }
 
-    fn as_u64(&self) -> Result<u64, ArtifactError> {
+    pub(crate) fn as_u64(&self) -> Result<u64, ArtifactError> {
         match self {
             Json::Num(raw) => raw
                 .parse::<u64>()
@@ -656,7 +656,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ArtifactError> 
 
 /// Fixed-precision float formatting, the writer's one source of float
 /// text: deterministic across platforms for the determinism proof.
-fn fmt_f64(x: f64, decimals: usize) -> String {
+pub(crate) fn fmt_f64(x: f64, decimals: usize) -> String {
     format!("{x:.decimals$}")
 }
 

@@ -43,6 +43,15 @@
 //!     the committed BENCH_regulator.json, and validate its structure.
 //!     This is what `xtask regulator` and the CI regulator-smoke stage
 //!     run.
+//!
+//! figures throughput [--golden-dir DIR] [--seed S] [--write]
+//!     Pin the Table 2 traces byte-identically against the frozen
+//!     pre-refactor engine, measure events/s for both engines on the
+//!     Table 2 set and a 128-task soak, diff the machine-independent
+//!     payload against the committed BENCH_throughput.json, and enforce
+//!     the events/s ratio floors (≥5x baseline on the engine-dominated
+//!     soak policies). `--write` regenerates the golden instead. This is
+//!     what `xtask throughput` and the CI throughput-smoke job run.
 //! ```
 
 use std::num::NonZeroUsize;
@@ -57,6 +66,10 @@ use rtdvs_bench::figures::{
 use rtdvs_bench::modes::{modes_smoke_config, run_modes};
 use rtdvs_bench::regulator::{regulator_smoke_config, run_regulator};
 use rtdvs_bench::render_normalized_chart;
+use rtdvs_bench::throughput::{
+    compare_throughput, floor_violations, pin_table2_traces, run_throughput,
+    throughput_smoke_config, ThroughputArtifact,
+};
 
 /// Default experiment seed (the sweep harness default, `0x5eed`).
 const DEFAULT_SEED: u64 = 0x5eed;
@@ -67,6 +80,7 @@ const SWEEP_FILE: &str = "BENCH_sweep.json";
 const FAULTS_FILE: &str = "BENCH_faults.json";
 const MODES_FILE: &str = "BENCH_modes.json";
 const REGULATOR_FILE: &str = "BENCH_regulator.json";
+const THROUGHPUT_FILE: &str = "BENCH_throughput.json";
 
 struct Args {
     command: String,
@@ -77,6 +91,7 @@ struct Args {
     out: Option<PathBuf>,
     golden_dir: Option<PathBuf>,
     tolerance: f64,
+    write: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,12 +104,16 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         golden_dir: None,
         tolerance: 0.01,
+        write: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" => args.command = a,
+            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "throughput" => {
+                args.command = a;
+            }
             "--quick" => args.quick = true,
+            "--write" => args.write = true,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a count")?;
                 args.threads = Some(v.parse().map_err(|e| format!("--threads {v}: {e}"))?);
@@ -134,8 +153,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos|modes|regulator] [--quick] [--threads N] \
-     [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION]"
+    "usage: figures [run|check|bench|chaos|modes|regulator|throughput] [--quick] [--threads N] \
+     [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION] \
+     [--write]"
         .to_owned()
 }
 
@@ -487,6 +507,118 @@ fn regulator(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn throughput(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let path = dir.join(THROUGHPUT_FILE);
+
+    // 1. Byte-identical-trace pinning: the O(1) engine must agree with
+    //    the frozen baseline on the paper's Table 2 set, byte for byte,
+    //    before any timing is trusted.
+    pin_table2_traces().map_err(|e| format!("throughput: trace pinning failed: {e}"))?;
+    println!("throughput: Table 2 traces byte-identical to the pre-refactor engine (6 policies)");
+
+    if args.write {
+        let art = run_throughput(&throughput_smoke_config(args.seed));
+        let structural = art.validate();
+        if !structural.is_empty() {
+            for p in &structural {
+                eprintln!("throughput: {p}");
+            }
+            return Err(format!("{} structural problem(s)", structural.len()));
+        }
+        std::fs::write(&path, art.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        print_throughput_summary(&art);
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read golden {}: {e} (run `figures throughput --write` to create it)",
+            path.display()
+        )
+    })?;
+    let golden =
+        ThroughputArtifact::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    // 2. Fresh measurement at the golden's seed and shape.
+    let mut cfg = throughput_smoke_config(golden.seed);
+    cfg.floor_ratio = golden.floor_ratio;
+    cfg.table2_floor_ratio = golden.table2_floor_ratio;
+    let fresh = run_throughput(&cfg);
+
+    // 3. The machine-independent payload (event counts, panel shapes,
+    //    floors) must reproduce the golden exactly.
+    let problems = compare_throughput(&golden, &fresh);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("throughput: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {THROUGHPUT_FILE}; if the engine or workload \
+             intentionally changed, regenerate with `figures throughput --write` and commit",
+            problems.len()
+        ));
+    }
+
+    // 4. The events/s floors hold on this machine's fresh measurement.
+    let slow = floor_violations(&fresh);
+    if !slow.is_empty() {
+        for p in &slow {
+            eprintln!("throughput: {p}");
+        }
+        return Err(format!(
+            "{} events/s floor violation(s) — the O(1) hot path has regressed",
+            slow.len()
+        ));
+    }
+
+    // 5. Structural invariants of the artifact itself.
+    let structural = fresh.validate();
+    if !structural.is_empty() {
+        for p in &structural {
+            eprintln!("throughput: {THROUGHPUT_FILE}: {p}");
+        }
+        return Err(format!("{} structural problem(s)", structural.len()));
+    }
+
+    print_throughput_summary(&fresh);
+    Ok(())
+}
+
+fn print_throughput_summary(art: &ThroughputArtifact) {
+    let floored: Vec<&rtdvs_bench::PolicyThroughput> =
+        art.soak.iter().filter(|p| p.floored).collect();
+    let worst = floored
+        .iter()
+        .map(|p| p.ratio)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "throughput: {}-task soak sustains {:.1}-{:.1}x baseline events/s on {} floored \
+         policies (floor {}x), table2 pinned, {} ms",
+        art.soak_tasks,
+        worst,
+        floored.iter().map(|p| p.ratio).fold(0.0, f64::max),
+        floored.len(),
+        art.floor_ratio,
+        art.wall_ms
+    );
+    for (panel, rows) in [("soak", &art.soak), ("table2", &art.table2)] {
+        for p in rows {
+            println!(
+                "  {panel:>6} {:>9} {:>10} events {:>12.0} vs {:>12.0} events/s  {:>6.2}x{}",
+                p.policy,
+                p.events,
+                p.engine_eps,
+                p.baseline_eps,
+                p.ratio,
+                if p.floored { "  [floored]" } else { "" }
+            );
+        }
+    }
+}
+
 fn bench(args: &Args) -> Result<(), String> {
     let scale = figures_scale(args.quick);
     println!(
@@ -544,6 +676,7 @@ fn main() -> ExitCode {
         "chaos" => chaos(&args),
         "modes" => modes(&args),
         "regulator" => regulator(&args),
+        "throughput" => throughput(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

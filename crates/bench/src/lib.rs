@@ -20,6 +20,7 @@ pub mod runner;
 pub mod stats;
 pub mod sweep;
 pub mod taskfile;
+pub mod throughput;
 
 pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
 pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
@@ -30,3 +31,7 @@ pub use regulator::{regulator_smoke_config, run_regulator, RegulatorConfig};
 pub use runner::{run_sweep_threads, RunnerStats, SweepRun};
 pub use stats::{welch_t, Summary};
 pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};
+pub use throughput::{
+    compare_throughput, floor_violations, pin_table2_traces, run_throughput,
+    throughput_smoke_config, PolicyThroughput, ThroughputArtifact, ThroughputConfig,
+};

@@ -49,6 +49,7 @@ pub mod example;
 pub mod hyperperiod;
 pub mod machine;
 pub mod policy;
+pub mod readyq;
 pub mod sched;
 pub mod task;
 pub mod time;
@@ -57,6 +58,7 @@ pub mod view;
 pub use analysis::RmTest;
 pub use machine::{Machine, OperatingPoint, PointIdx};
 pub use policy::{DvsPolicy, PolicyKind};
+pub use readyq::ReadyQueue;
 pub use sched::SchedulerKind;
 pub use task::{Task, TaskId, TaskSet};
 pub use time::{Time, Work};

@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::policy::{DvsPolicy, PolicyKind};
+use rtdvs_core::readyq::{tick_of, ReadyQueue};
 use rtdvs_core::sched::SchedulerKind;
 use rtdvs_core::task::{Task, TaskError, TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
@@ -403,6 +404,11 @@ pub struct RtKernel {
     /// The watchdog supervisor, when armed. Like the regulator, never
     /// serialized: it owns the snapshot it would restore from.
     pub(crate) supervisor: Option<crate::supervisor::Supervisor>,
+    /// Priority-bitmap ready queue reused across scheduler iterations
+    /// (rebuilt from `entries` each pick; O(1) highest-priority lookup,
+    /// no per-iteration allocation). Derived state: reconfigured by
+    /// [`RtKernel::rebuild_and_reinit`], never serialized.
+    pub(crate) rq: ReadyQueue,
 }
 
 impl RtKernel {
@@ -445,6 +451,7 @@ impl RtKernel {
             regulator_fallbacks: 0,
             forced_transitions: 0,
             supervisor: None,
+            rq: ReadyQueue::new(),
         };
         kernel.log.push((
             Time::ZERO,
@@ -830,6 +837,24 @@ impl RtKernel {
                     .expect("non-empty entries"),
             )
         };
+        match &self.cached_set {
+            Some(set) => {
+                let span = set
+                    .tasks()
+                    .iter()
+                    .map(Task::period)
+                    .fold(Time::ZERO, Time::max);
+                let mut rm_order: Vec<TaskId> = (0..set.tasks().len()).map(TaskId).collect();
+                rm_order.sort_by(|&a, &b| {
+                    set.task(a)
+                        .period()
+                        .total_cmp(&set.task(b).period())
+                        .then(a.cmp(&b))
+                });
+                self.rq.configure(set.tasks().len(), span, &rm_order);
+            }
+            None => self.rq.configure(0, Time::ZERO, &[]),
+        }
         if let Some(set) = &self.cached_set {
             self.policy.init(set, &self.machine);
             let views = self.views();
@@ -1552,15 +1577,19 @@ impl RtKernel {
                 }
             }
 
-            let ready: Vec<(TaskId, Time)> = self
-                .entries
-                .iter()
-                .enumerate()
-                .filter(|(i, e)| e.state == InvState::Active && self.remaining(*i).is_positive())
-                .map(|(i, e)| (TaskId(i), e.deadline))
-                .collect();
+            // Rebuild the bitmap queue from the authoritative entries and
+            // pick in O(1). Rebuilding is still a linear sweep, but it
+            // allocates nothing (the queue's storage is reused) and the
+            // pick itself no longer scans: same schedule, cheaper loop.
+            let now_tick = tick_of(self.now);
+            self.rq.clear();
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.state == InvState::Active && self.remaining(i).is_positive() {
+                    self.rq.insert(TaskId(i), e.deadline, now_tick);
+                }
+            }
             let running = match &self.cached_set {
-                Some(set) => self.policy.scheduler().pick_next(set, &ready),
+                Some(_) => self.rq.pick(self.policy.scheduler(), now_tick),
                 None => None,
             };
             let desired = if running.is_some() {

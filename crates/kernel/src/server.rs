@@ -281,17 +281,19 @@ impl TaskBody for ServerBody {
 
     fn on_invocation_complete(&mut self, _invocation: u64, now: Time) {
         let mut s = lock_recovering(&self.shared);
-        let done: Vec<CompletedJob> = s
-            .finishing
-            .drain(..)
-            .map(|j| CompletedJob {
-                id: j.id,
-                arrival: j.arrival,
-                completed: now,
-                work: j.total,
-            })
-            .collect();
-        s.completed.extend(done);
+        // Drain straight into the completion log: this runs on the kernel
+        // hot path once per server invocation, so no intermediate Vec.
+        let Shared {
+            finishing,
+            completed,
+            ..
+        } = &mut *s;
+        completed.extend(finishing.drain(..).map(|j| CompletedJob {
+            id: j.id,
+            arrival: j.arrival,
+            completed: now,
+            work: j.total,
+        }));
     }
 
     fn snapshot_state(&self) -> Option<crate::body::BodyState> {

@@ -1010,6 +1010,7 @@ fn restore_from_text(
         regulator_fallbacks,
         forced_transitions,
         supervisor: None,
+        rq: rtdvs_core::readyq::ReadyQueue::new(),
     };
     if let Some(p) = kernel.applied {
         if p >= kernel.machine.len() {

@@ -11,13 +11,31 @@
 //! invocation"), the scheduler priority rule picks the running task, and
 //! while the ready queue is empty the processor halts at the policy's idle
 //! point.
+//!
+//! # Hot-path data structures
+//!
+//! The steady-state loop performs **zero heap allocation**: the ready set
+//! is a priority-bitmap [`ReadyQueue`] (O(1) highest-EDF-bucket lookup
+//! with an exact intra-bucket `(deadline, id)` tiebreak; a pure rank
+//! bitmap for RM), release/deadline timers live in a hierarchical
+//! [`TimingWheel`], completion candidates are a bitmap maintained at the
+//! only two points a task can finish (a charged interval or a zero-work
+//! release), and policy notifications reuse one views buffer. All
+//! quantized structures resolve order by comparing the exact `f64` times,
+//! so every pick, event set, and event order is bit-for-bit identical to
+//! the retired linear scans — `crate::baseline` keeps that engine frozen
+//! and the differential suite (`tests/throughput_equiv.rs`) plus the
+//! debug/audit [`Engine::sanitize`] cross-checks hold the two equal.
 
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::policy::{DvsPolicy, PolicyKind};
+use rtdvs_core::readyq::ReadyQueue;
 use rtdvs_core::task::{TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
 use rtdvs_core::view::{InvState, SystemView, TaskView};
 use rtdvs_taskgen::SplitMix64;
+
+use crate::wheel::TimingWheel;
 
 use crate::config::{MissPolicy, SimConfig};
 use crate::energy::EnergyMeter;
@@ -96,7 +114,37 @@ struct Engine<'a> {
     quarantined: Vec<bool>,
     containment: ContainmentStats,
     clamp_events: u64,
+    /// Priority-bitmap ready set (active tasks with work left).
+    rq: ReadyQueue,
+    /// Release/deadline timers: timer `2i` is task `i`'s next release,
+    /// `2i + 1` its deadline (scheduled only while the task is active).
+    wheel: TimingWheel,
+    /// Tasks that may have finished their sampled work (bitmap): set when
+    /// a charged interval exhausts the running task's work or a release
+    /// samples zero work — the only ways an invocation can complete.
+    comp_cand: Vec<u64>,
+    /// Reused due-timer bitmap for [`Engine::process_due_events`].
+    due_buf: Vec<u64>,
+    /// Reused task-view buffer for policy notifications.
+    views_buf: Vec<TaskView>,
 }
+
+/// Timer id of task `i`'s release event.
+#[inline]
+fn rel_timer(i: usize) -> usize {
+    2 * i
+}
+
+/// Timer id of task `i`'s deadline event.
+#[inline]
+fn dl_timer(i: usize) -> usize {
+    2 * i + 1
+}
+
+/// Even bits of a timer word: release timers.
+const REL_MASK: u64 = 0x5555_5555_5555_5555;
+/// Odd bits of a timer word: deadline timers.
+const DL_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
 
 impl<'a> Engine<'a> {
     fn new(
@@ -109,7 +157,7 @@ impl<'a> Engine<'a> {
             cfg.duration.as_ms() > 0.0,
             "simulation duration must be positive"
         );
-        let rt = tasks
+        let rt: Vec<TaskRt> = tasks
             .tasks()
             .iter()
             .map(|t| TaskRt {
@@ -119,6 +167,37 @@ impl<'a> Engine<'a> {
                 actual: Work::ZERO,
                 deadline: t.offset() + t.period(),
                 next_release: t.offset(),
+            })
+            .collect();
+        let n = tasks.len();
+        let mut wheel = TimingWheel::new(2 * n);
+        for (i, t) in tasks.tasks().iter().enumerate() {
+            wheel.schedule(rel_timer(i), t.offset());
+        }
+        let mut rq = ReadyQueue::new();
+        let span = tasks
+            .tasks()
+            .iter()
+            .map(rtdvs_core::task::Task::period)
+            .fold(Time::ZERO, Time::max);
+        let mut rm_order: Vec<TaskId> = (0..n).map(TaskId).collect();
+        rm_order.sort_by(|&a, &b| {
+            tasks
+                .task(a)
+                .period()
+                .total_cmp(&tasks.task(b).period())
+                .then(a.cmp(&b))
+        });
+        rq.configure(n, span, &rm_order);
+        let timer_words = (2 * n).div_ceil(64).max(1);
+        let views_buf = rt
+            .iter()
+            .map(|s: &TaskRt| TaskView {
+                invocation: s.invocation,
+                state: s.state,
+                executed: s.executed,
+                deadline: s.deadline,
+                next_release: s.next_release,
             })
             .collect();
         Engine {
@@ -143,35 +222,52 @@ impl<'a> Engine<'a> {
             quarantined: vec![false; tasks.len()],
             containment: ContainmentStats::default(),
             clamp_events: 0,
+            rq,
+            wheel,
+            comp_cand: vec![0; n.div_ceil(64).max(1)],
+            due_buf: Vec::with_capacity(timer_words),
+            views_buf,
         }
     }
 
-    fn views(&self) -> Vec<TaskView> {
-        self.rt
-            .iter()
-            .map(|s| TaskView {
-                invocation: s.invocation,
-                state: s.state,
-                executed: s.executed,
-                deadline: s.deadline,
-                next_release: s.next_release,
-            })
-            .collect()
+    /// Mirrors task `i`'s live state into the reused policy view buffer.
+    /// The buffer is kept in sync at every task mutation, so building a
+    /// [`SystemView`] is O(1) instead of an O(n) rebuild per notification.
+    fn sync_view(&mut self, i: usize) {
+        let Some(s) = self.rt.get(i) else {
+            return;
+        };
+        let v = TaskView {
+            invocation: s.invocation,
+            state: s.state,
+            executed: s.executed,
+            deadline: s.deadline,
+            next_release: s.next_release,
+        };
+        if let Some(slot) = self.views_buf.get_mut(i) {
+            *slot = v;
+        }
     }
 
-    /// Calls a policy callback with a fresh system view.
+    /// Calls a policy callback with the always-current system view.
     fn notify(&mut self, id: TaskId, is_release: bool) {
-        let views = self.views();
         let sys = SystemView {
             now: self.now,
             tasks: self.tasks,
             machine: self.machine,
-            views: &views,
+            views: &self.views_buf,
         };
         if is_release {
             self.policy.on_release(id, &sys);
         } else {
             self.policy.on_completion(id, &sys);
+        }
+    }
+
+    /// Marks task `i` as a completion candidate.
+    fn mark_completion_candidate(&mut self, i: usize) {
+        if let Some(w) = self.comp_cand.get_mut(i / 64) {
+            *w |= 1u64 << (i % 64);
         }
     }
 
@@ -192,6 +288,12 @@ impl<'a> Engine<'a> {
         };
         rt.executed = rt.actual;
         rt.state = InvState::Completed;
+        self.sync_view(i);
+        self.wheel.cancel(dl_timer(i));
+        self.rq.remove(TaskId(i));
+        let Some(rt) = self.rt.get_mut(i) else {
+            return;
+        };
         let executed = rt.executed;
         let slack = rt.deadline - self.now;
         if let Some(st) = self.stats.get_mut(i) {
@@ -271,14 +373,22 @@ impl<'a> Engine<'a> {
                 // release.
                 rt.actual = rt.executed;
                 rt.state = InvState::Completed;
+                self.wheel.cancel(dl_timer(i));
+                self.rq.remove(TaskId(i));
             }
             MissPolicy::SkipRelease => {
                 // Let the old invocation overrun into the next period; its
                 // next release is skipped entirely.
                 rt.deadline += period;
                 rt.next_release += period;
+                let (deadline, next_release) = (rt.deadline, rt.next_release);
+                self.wheel.schedule(dl_timer(i), deadline);
+                self.wheel.schedule(rel_timer(i), next_release);
+                let now_tick = self.wheel.now_tick();
+                self.rq.insert(TaskId(i), deadline, now_tick);
             }
         }
+        self.sync_view(i);
     }
 
     fn release(&mut self, i: usize) {
@@ -325,6 +435,17 @@ impl<'a> Engine<'a> {
             }
         }
         rt.actual = actual;
+        let (deadline, next_release) = (rt.deadline, rt.next_release);
+        self.sync_view(i);
+        self.wheel.schedule(rel_timer(i), next_release);
+        self.wheel.schedule(dl_timer(i), deadline);
+        if self.remaining(i).is_positive() {
+            let now_tick = self.wheel.now_tick();
+            self.rq.insert(TaskId(i), deadline, now_tick);
+        } else {
+            // A zero-work invocation completes at its own release instant.
+            self.mark_completion_candidate(i);
+        }
         if let Some(st) = self.stats.get_mut(i) {
             st.releases += 1;
         }
@@ -348,64 +469,80 @@ impl<'a> Engine<'a> {
     /// misses, then releases, repeating until quiescent (a release with
     /// zero actual work completes immediately).
     fn process_due_events(&mut self, releases_allowed: bool) {
-        // Each phase snapshots its due set before acting: the handlers only
-        // mutate the task they are given (plus shared logs/rng, drawn in the
-        // same ascending order), so the snapshot is behavior-identical to
-        // re-checking per index — and keeps this loop free of `rt[i]` panics.
+        // The candidate/timer bitmaps only narrow the search: every index
+        // they yield is re-verified against the live task state before its
+        // handler runs, and the handlers only mutate the task they are
+        // given (plus shared logs/rng, drawn in the same ascending order),
+        // so the event set and order match a full linear re-scan exactly.
         loop {
             let mut progressed = false;
-            let done: Vec<usize> = self
-                .rt
-                .iter()
-                .enumerate()
-                .filter(|&(i, s)| s.state == InvState::Active && !self.remaining(i).is_positive())
-                .map(|(i, _)| i)
-                .collect();
-            for i in done {
-                self.complete(i);
-                progressed = true;
+            // Completions first: a task finishing exactly at its deadline
+            // meets it. The candidate bitmap covers the only two ways an
+            // invocation can run out of work — a charged execution interval
+            // or a zero-work sample at release.
+            for w in 0..self.comp_cand.len() {
+                loop {
+                    let word = self.comp_cand.get(w).copied().unwrap_or(0);
+                    if word == 0 {
+                        break;
+                    }
+                    let b = word.trailing_zeros() as usize;
+                    if let Some(slot) = self.comp_cand.get_mut(w) {
+                        *slot &= !(1u64 << b);
+                    }
+                    let i = w * 64 + b;
+                    let active = self.rt.get(i).is_some_and(|s| s.state == InvState::Active);
+                    if active && !self.remaining(i).is_positive() {
+                        self.complete(i);
+                        progressed = true;
+                    }
+                }
             }
-            let missed: Vec<usize> = self
-                .rt
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.state == InvState::Active && s.deadline.at_or_before(self.now))
-                .map(|(i, _)| i)
-                .collect();
-            for i in missed {
-                self.handle_deadline_miss(i);
-                progressed = true;
-            }
-            if releases_allowed {
-                let due: Vec<usize> = self
-                    .rt
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| {
-                        s.state != InvState::Active && s.next_release.at_or_before(self.now)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                for i in due {
-                    self.release(i);
-                    progressed = true;
+            // One wheel scan serves both deadline and release timers: the
+            // handlers only push times forward, so nothing becomes newly
+            // due mid-loop, and stale bits fail re-verification. The
+            // cached-minimum check skips the scan outright when no timer
+            // is due (every completion-only event, and the quiescent final
+            // pass of this loop).
+            if self.wheel.has_due(self.now) {
+                self.wheel.collect_due(self.now, &mut self.due_buf);
+                for w in 0..self.due_buf.len() {
+                    let mut word = self.due_buf.get(w).copied().unwrap_or(0) & DL_MASK;
+                    while word != 0 {
+                        let b = word.trailing_zeros() as usize;
+                        word &= !(1u64 << b);
+                        let i = (w * 64 + b) / 2;
+                        let missed = self.rt.get(i).is_some_and(|s| {
+                            s.state == InvState::Active && s.deadline.at_or_before(self.now)
+                        });
+                        if missed {
+                            self.handle_deadline_miss(i);
+                            progressed = true;
+                        }
+                    }
+                }
+                if releases_allowed {
+                    for w in 0..self.due_buf.len() {
+                        let mut word = self.due_buf.get(w).copied().unwrap_or(0) & REL_MASK;
+                        while word != 0 {
+                            let b = word.trailing_zeros() as usize;
+                            word &= !(1u64 << b);
+                            let i = (w * 64 + b) / 2;
+                            let due = self.rt.get(i).is_some_and(|s| {
+                                s.state != InvState::Active && s.next_release.at_or_before(self.now)
+                            });
+                            if due {
+                                self.release(i);
+                                progressed = true;
+                            }
+                        }
+                    }
                 }
             }
             if !progressed {
                 break;
             }
         }
-    }
-
-    /// The ready queue: active tasks with work left, tagged with their
-    /// deadlines for the scheduler.
-    fn ready(&self) -> Vec<(TaskId, Time)> {
-        self.rt
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| s.state == InvState::Active && self.remaining(*i).is_positive())
-            .map(|(i, s)| (TaskId(i), s.deadline))
-            .collect()
     }
 
     /// Applies `desired` to the hardware, accounting a switch (and a stall,
@@ -535,6 +672,55 @@ impl<'a> Engine<'a> {
                     s.next_release
                 );
             }
+            // Cross-check the O(1) structures against a full scan of the
+            // authoritative task state: the wheel holds every release
+            // timer plus a deadline timer exactly while active, and queue
+            // membership tracks active-with-work-left (a task whose work
+            // just ran out stays queued until its pending completion
+            // candidate is processed).
+            let active = s.state == InvState::Active;
+            assert_eq!(
+                self.wheel.scheduled_at(rel_timer(i)),
+                Some(s.next_release),
+                "T{}: release timer disagrees with next_release",
+                i + 1
+            );
+            assert_eq!(
+                self.wheel.scheduled_at(dl_timer(i)),
+                active.then_some(s.deadline),
+                "T{}: deadline timer disagrees with state/deadline",
+                i + 1
+            );
+            let in_q = self.rq.contains(TaskId(i));
+            let candidate = (self.comp_cand.get(i / 64).copied().unwrap_or(0) >> (i % 64)) & 1 == 1;
+            let has_work = self.remaining(i).is_positive();
+            if active && has_work {
+                assert!(in_q, "T{}: active with work left but not queued", i + 1);
+            }
+            if in_q {
+                assert!(active, "T{}: queued while not active", i + 1);
+            }
+            if active && !has_work {
+                assert!(
+                    candidate,
+                    "T{}: out of work but no pending completion candidate",
+                    i + 1
+                );
+            }
+            // The incrementally-synced policy view must mirror the task
+            // state exactly (it is what every policy callback observes).
+            let view_ok = self.views_buf.get(i).is_some_and(|v| {
+                v.invocation == s.invocation
+                    && v.state == s.state
+                    && v.executed == s.executed
+                    && v.deadline == s.deadline
+                    && v.next_release == s.next_release
+            });
+            assert!(
+                view_ok,
+                "T{}: policy view out of sync with task state",
+                i + 1
+            );
         }
     }
 
@@ -555,12 +741,11 @@ impl<'a> Engine<'a> {
             // only under sporadic arrivals).
             if let Some(review) = self.policy.review_at() {
                 if review.at_or_before(self.now) {
-                    let views = self.views();
                     let sys = SystemView {
                         now: self.now,
                         tasks: self.tasks,
                         machine: self.machine,
-                        views: &views,
+                        views: &self.views_buf,
                     };
                     self.policy.on_review(&sys);
                     if let Some(tr) = &mut self.trace {
@@ -575,12 +760,23 @@ impl<'a> Engine<'a> {
             // innocent tasks and the processor escalates to f_max, so the
             // overrun steals as little feasible time as possible.
             self.update_quarantine();
-            let mut ready = self.ready();
-            let containing = self.quarantined.iter().any(|&q| q);
-            if containing && ready.iter().any(|(id, _)| !self.is_quarantined(id.0)) {
-                ready.retain(|(id, _)| !self.is_quarantined(id.0));
-            }
-            let running = self.policy.scheduler().pick_next(self.tasks, &ready);
+            // Quarantine flags are only ever set under an armed fault
+            // plan, so a fault-free run skips the per-task scan.
+            let containing = self.faults.is_some() && self.quarantined.iter().any(|&q| q);
+            let kind = self.policy.scheduler();
+            // O(1) pick from the bitmap queue; under containment the
+            // offender is masked out exactly as the old `retain` did —
+            // unless every ready task is quarantined, in which case the
+            // offender still runs (at f_max, charged to containment).
+            let running = if containing {
+                if self.rq.any_unmasked(|id| self.is_quarantined(id.0)) {
+                    self.rq.pick_masked(kind, |id| self.is_quarantined(id.0))
+                } else {
+                    self.rq.pick(kind, self.wheel.now_tick())
+                }
+            } else {
+                self.rq.pick(kind, self.wheel.now_tick())
+            };
             let desired = if running.is_some() {
                 if containing {
                     self.machine.highest()
@@ -601,11 +797,8 @@ impl<'a> Engine<'a> {
             // from the release only under sporadic arrivals), the running
             // task's completion, or the end of the horizon.
             let mut t_next = self.cfg.duration;
-            for s in &self.rt {
-                t_next = t_next.min(s.next_release.max(self.now));
-                if s.state == InvState::Active {
-                    t_next = t_next.min(s.deadline.max(self.now));
-                }
+            if let Some(mn) = self.wheel.peek_min() {
+                t_next = t_next.min(mn.max(self.now));
             }
             if let Some(id) = running {
                 let exec_start = self.now.max(self.stall_until);
@@ -648,6 +841,12 @@ impl<'a> Engine<'a> {
                         if let Some(s) = self.rt.get_mut(id.0) {
                             s.executed += work;
                         }
+                        self.sync_view(id.0);
+                        if !self.remaining(id.0).is_positive() {
+                            // The only other way an invocation completes is
+                            // a zero-work sample, marked at release.
+                            self.mark_completion_candidate(id.0);
+                        }
                         if let Some(st) = self.stats.get_mut(id.0) {
                             st.work += work;
                             st.energy += work.as_ms() * op.energy_per_work();
@@ -669,6 +868,7 @@ impl<'a> Engine<'a> {
                 }
             }
             self.now = t_next;
+            self.wheel.advance(self.now);
             self.sanitize(prev_now);
 
             if self.now.as_ms() >= self.cfg.duration.as_ms() - EPS {
@@ -693,6 +893,7 @@ impl<'a> Engine<'a> {
             clamp_events: self.clamp_events,
             faults: self.fault_log,
             containment: self.containment,
+            sched_ns: 0,
         }
     }
 }

@@ -78,13 +78,17 @@ impl ExecModel {
                 wcet * f
             }
             ExecModel::Trace(times) => {
-                let per_task = &times[task.0];
-                assert!(
+                // Total on the engine hot path: a task missing from the
+                // trace, or a trace with no invocations, contributes zero
+                // work (flagged loudly in debug builds) instead of
+                // panicking mid-simulation.
+                let per_task = times.get(task.0).map_or(&[][..], Vec::as_slice);
+                debug_assert!(
                     !per_task.is_empty(),
                     "trace for {task} must list at least one invocation"
                 );
-                let idx = (invocation.max(1) as usize - 1).min(per_task.len() - 1);
-                per_task[idx]
+                let idx = (invocation.max(1) as usize - 1).min(per_task.len().saturating_sub(1));
+                per_task.get(idx).copied().unwrap_or(Work::ZERO)
             }
         };
         let clamped = raw.as_ms() > wcet.as_ms() + EPS;

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod bound;
 pub mod config;
 pub mod energy;
@@ -37,6 +38,7 @@ pub mod fault;
 pub mod reference;
 pub mod report;
 pub mod trace;
+pub mod wheel;
 
 pub use bound::{minimum_average_power, theoretical_bound};
 pub use config::{ArrivalModel, MissPolicy, SimConfig, SwitchOverhead};

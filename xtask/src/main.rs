@@ -7,7 +7,10 @@
 //!   each stage wall-clock-timed with a summary table at the end. `ci.sh`
 //!   and the GitHub Actions workflow both delegate here, so the shell
 //!   script and the hosted pipeline cannot drift. `--skip a,b` skips
-//!   stages by name.
+//!   stages by name (unknown names are hard errors); `--json PATH`
+//!   additionally writes the per-stage timing table as
+//!   `xtask-ci-times/v1` JSON, which every CI job uploads as an
+//!   artifact.
 //! * `cargo run -p xtask -- bench-check` — the quantitative regression
 //!   gate: delegates to `figures check` (crates/bench), which re-runs the
 //!   reduced sweep grid and diffs it against the committed
@@ -28,6 +31,15 @@
 //!   ever policy-blamed and that the ideal regulator is bit-exact against
 //!   no regulator at all, and diffs the result against the committed
 //!   `BENCH_regulator.json`.
+//! * `cargo run -p xtask -- throughput` — the scheduler hot-path gate:
+//!   delegates to `figures throughput`, which pins the Table 2 traces
+//!   byte-identically against the frozen pre-refactor engine, re-measures
+//!   events/s for both engines on a 128-task soak, diffs the
+//!   machine-independent payload against the committed
+//!   `BENCH_throughput.json`, and enforces the ≥5x events/s ratio floor
+//!   on the engine-dominated policies (a ratio against an in-process
+//!   reference run, never wall-clock, so it cannot flake on slow
+//!   runners).
 //! * `cargo run -p xtask -- analyze` — the static-analysis gate:
 //!   delegates to `rtdvs-analyzer` (lexer, item/call graph, and the
 //!   determinism / panic-reachability / lock-order passes, configured by
@@ -100,9 +112,11 @@ fn main() -> ExitCode {
         Some("chaos") => figures_gate("chaos", &args[1..]),
         Some("modes") => figures_gate("modes", &args[1..]),
         Some("regulator") => figures_gate("regulator", &args[1..]),
+        Some("throughput") => figures_gate("throughput", &args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|analyze|ci|bench-check|chaos|modes|regulator>"
+                "usage: cargo run -p xtask -- \
+                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput>"
             );
             ExitCode::from(2)
         }
@@ -120,7 +134,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` and `analyze` are
 /// the in-process passes (empty argv); everything else shells out to
 /// cargo so the stages are exactly what a contributor would type.
-const STAGES: [Stage; 12] = [
+const STAGES: [Stage; 13] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -217,6 +231,20 @@ const STAGES: [Stage; 12] = [
             "regulator",
         ],
     },
+    Stage {
+        name: "throughput",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "throughput",
+        ],
+    },
 ];
 
 /// Runs the full offline gate with per-stage wall-clock timing and a
@@ -224,6 +252,7 @@ const STAGES: [Stage; 12] = [
 /// only add noise) but always prints the table.
 fn ci(args: &[String]) -> ExitCode {
     let mut skip: Vec<String> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -234,9 +263,16 @@ fn ci(args: &[String]) -> ExitCode {
                 };
                 skip.extend(list.split(',').map(|s| s.trim().to_owned()));
             }
+            "--json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--json needs an output path");
+                    return ExitCode::from(2);
+                };
+                json_out = Some(PathBuf::from(path));
+            }
             other => {
                 eprintln!("unknown `ci` argument {other}");
-                eprintln!("usage: cargo run -p xtask -- ci [--skip stage1,stage2]");
+                eprintln!("usage: cargo run -p xtask -- ci [--skip stage1,stage2] [--json PATH]");
                 eprintln!(
                     "stages: {}",
                     STAGES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
@@ -245,10 +281,22 @@ fn ci(args: &[String]) -> ExitCode {
             }
         }
     }
-    for name in &skip {
-        if !STAGES.iter().any(|s| s.name == name) {
-            eprintln!("note: --skip {name} matches no stage");
+    // A typo'd --skip silently running the stage it meant to skip (or
+    // silently skipping nothing) has bitten before: unknown names are
+    // hard errors, not notes.
+    let unknown: Vec<&String> = skip
+        .iter()
+        .filter(|name| !STAGES.iter().any(|s| s.name == name.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for name in &unknown {
+            eprintln!("error: --skip {name} matches no stage");
         }
+        eprintln!(
+            "valid stages: {}",
+            STAGES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::from(2);
     }
 
     let root = repo_root();
@@ -299,6 +347,14 @@ fn ci(args: &[String]) -> ExitCode {
         "  total                   {:7.1}s",
         total.elapsed().as_secs_f64()
     );
+    if let Some(path) = &json_out {
+        let json = stage_times_json(&results, total.elapsed().as_secs_f64(), failed);
+        if let Err(e) = fs::write(path, json) {
+            eprintln!("cannot write stage timings to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  stage timings written to {}", path.display());
+    }
     if failed {
         println!("\nCI gate FAILED.");
         ExitCode::FAILURE
@@ -306,6 +362,27 @@ fn ci(args: &[String]) -> ExitCode {
         println!("\nCI gate green.");
         ExitCode::SUCCESS
     }
+}
+
+/// Renders the per-stage timing table as JSON (`xtask-ci-times/v1`) for
+/// the `--json` flag; every CI job uploads this so stage-level slowdowns
+/// show up as artifact diffs, not anecdotes.
+fn stage_times_json(results: &[(&str, &str, f64)], total_secs: f64, failed: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{\n  \"schema\": \"xtask-ci-times/v1\",");
+    let _ = writeln!(s, "  \"ok\": {},", !failed);
+    let _ = writeln!(s, "  \"total_secs\": {total_secs:.3},");
+    let _ = writeln!(s, "  \"stages\": [");
+    for (i, (name, outcome, secs)) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{name}\", \"result\": \"{outcome}\", \"secs\": {secs:.3}}}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]\n}}");
+    s
 }
 
 /// Delegates to an artifact gate in `rtdvs-bench` (`figures check` or
