@@ -282,6 +282,82 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
     out
 }
 
+/// One tenant's end-of-run standing, as reported by the serving harness:
+/// whether its offered load stayed within its quota, and how much
+/// backpressure it absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStanding {
+    /// The tenant's raw id.
+    pub tenant: u64,
+    /// Whether the tenant's offered load exceeded its guaranteed quota at
+    /// any point of the run (a flooding tenant).
+    pub over_quota: bool,
+    /// Requests shed from its queue (oldest-first backpressure).
+    pub shed: u64,
+    /// Submissions rejected while quarantined.
+    pub rejected: u64,
+}
+
+/// Audits multi-tenant temporal isolation ([`Rule::TenantIsolation`]).
+///
+/// The rule formalizes the serving subsystem's promise: another tenant's
+/// overload is absorbed by *that tenant's* backpressure, never exported.
+/// Concretely, when at least one tenant ran over quota:
+///
+/// - no hard-RT periodic task may miss a deadline (the server's budget is
+///   admission-tested; a flood must not leak past it), and
+/// - no compliant tenant (one that stayed within quota) may have had a
+///   request shed or rejected — that would be quota theft.
+///
+/// With every tenant within quota the rule is vacuous: sheds then indicate
+/// a misconfigured backlog bound, not cross-tenant interference, and are
+/// left to other checks.
+#[must_use]
+pub fn audit_tenant_isolation(
+    standings: &[TenantStanding],
+    log: &[(Time, KernelEvent)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !standings.iter().any(|s| s.over_quota) {
+        return out;
+    }
+    let end = log.last().map_or(Time::ZERO, |&(t, _)| t);
+    for &(time, ref event) in log {
+        if let KernelEvent::DeadlineMiss {
+            handle, invocation, ..
+        } = *event
+        {
+            flag(
+                &mut out,
+                time,
+                Rule::TenantIsolation,
+                format!(
+                    "hard-RT {handle} missed invocation {invocation} while a \
+                     tenant was over quota: overload leaked past the server budget"
+                ),
+            );
+        }
+    }
+    for s in standings {
+        if s.over_quota {
+            continue;
+        }
+        if s.shed > 0 || s.rejected > 0 {
+            flag(
+                &mut out,
+                end,
+                Rule::TenantIsolation,
+                format!(
+                    "compliant tenant{} lost requests (shed={}, rejected={}) \
+                     while another tenant was over quota: quota theft",
+                    s.tenant, s.shed, s.rejected
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +573,108 @@ mod tests {
         assert!(unsafe_fb[0].details.contains("below desired 3"));
         assert_eq!(cap_viol.len(), 1, "{violations:?}");
         assert!(cap_viol[0].details.contains("above active cap 2"));
+    }
+
+    #[test]
+    fn tenant_isolation_passes_when_the_flood_is_contained() {
+        let h = TaskHandle::from_raw(1);
+        let log = vec![
+            (
+                ms(0.0),
+                KernelEvent::Admitted {
+                    handle: h,
+                    deferred: false,
+                },
+            ),
+            (
+                ms(0.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(5.0),
+                KernelEvent::Completed {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+        ];
+        // The flooding tenant absorbs all the backpressure itself.
+        let standings = [
+            TenantStanding {
+                tenant: 1,
+                over_quota: true,
+                shed: 400,
+                rejected: 120,
+            },
+            TenantStanding {
+                tenant: 2,
+                over_quota: false,
+                shed: 0,
+                rejected: 0,
+            },
+        ];
+        assert!(audit_tenant_isolation(&standings, &log).is_empty());
+    }
+
+    #[test]
+    fn tenant_isolation_flags_quota_theft_and_leaked_misses() {
+        let h = TaskHandle::from_raw(1);
+        let log = vec![(
+            ms(10.0),
+            KernelEvent::DeadlineMiss {
+                handle: h,
+                invocation: 1,
+                remaining: Work::from_ms(0.5),
+            },
+        )];
+        let standings = [
+            TenantStanding {
+                tenant: 1,
+                over_quota: true,
+                shed: 400,
+                rejected: 0,
+            },
+            TenantStanding {
+                tenant: 2,
+                over_quota: false,
+                shed: 3,
+                rejected: 1,
+            },
+        ];
+        let violations = audit_tenant_isolation(&standings, &log);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.rule == Rule::TenantIsolation));
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("overload leaked past the server budget")));
+        assert!(violations
+            .iter()
+            .any(|v| v.details.contains("quota theft") && v.details.contains("tenant2")));
+    }
+
+    #[test]
+    fn tenant_isolation_is_vacuous_without_an_overloaded_tenant() {
+        let h = TaskHandle::from_raw(1);
+        // Even a deadline miss and sheds are not *isolation* findings when
+        // nobody flooded (other rules own those).
+        let log = vec![(
+            ms(10.0),
+            KernelEvent::DeadlineMiss {
+                handle: h,
+                invocation: 1,
+                remaining: Work::from_ms(0.5),
+            },
+        )];
+        let standings = [TenantStanding {
+            tenant: 1,
+            over_quota: false,
+            shed: 7,
+            rejected: 2,
+        }];
+        assert!(audit_tenant_isolation(&standings, &log).is_empty());
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod violation;
 pub use classify::{
     classify_misses, fault_induced_misses, policy_bug_misses, ClassifiedMiss, MissClass,
 };
-pub use kernel_replay::audit_kernel_log;
+pub use kernel_replay::{audit_kernel_log, audit_tenant_isolation, TenantStanding};
 pub use replay::{audit_run, TraceAuditor};
 pub use violation::{Rule, Violation};
 

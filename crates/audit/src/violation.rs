@@ -59,6 +59,10 @@ pub enum Rule {
     /// kernel asked the regulator for a point the external constraint
     /// forbids.
     CapViolation,
+    /// Multi-tenant temporal isolation was broken: a hard-RT periodic
+    /// deadline miss or a compliant tenant's shed/rejection occurred that
+    /// is attributable to another tenant's overload.
+    TenantIsolation,
 }
 
 impl Rule {
@@ -81,6 +85,7 @@ impl Rule {
             Rule::KernelLogConsistency => "kernel-log-consistency",
             Rule::UnsafeFallback => "unsafe-fallback",
             Rule::CapViolation => "cap-violation",
+            Rule::TenantIsolation => "tenant-isolation",
         }
     }
 
@@ -103,6 +108,7 @@ impl Rule {
             Rule::UnsafeFallback | Rule::CapViolation => {
                 "regulator hardening (safe-point fallback & brownout caps)"
             }
+            Rule::TenantIsolation => "multi-tenant serving (quota isolation)",
         }
     }
 }
@@ -172,6 +178,7 @@ mod tests {
             Rule::KernelLogConsistency,
             Rule::UnsafeFallback,
             Rule::CapViolation,
+            Rule::TenantIsolation,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

@@ -44,6 +44,17 @@
 //!     This is what `xtask regulator` and the CI regulator-smoke stage
 //!     run.
 //!
+//! figures tenants [--golden-dir DIR] [--seed S] [--write]
+//!     Re-run the multi-tenant serving soak (one tenant flooding at 10x
+//!     its quota beside five compliant tenants and the relaxed Table 2
+//!     hard-RT set under injected overruns), enforce the isolation
+//!     invariants (zero periodic misses, clean audits, no compliant-
+//!     tenant loss, compliant p99 within the configured limit of the
+//!     flood-free baseline), and diff the canonical payload byte-for-
+//!     byte against the committed BENCH_tenants.json. `--write`
+//!     regenerates the golden instead. This is what `xtask tenants` and
+//!     the CI tenants-smoke job run.
+//!
 //! figures throughput [--golden-dir DIR] [--seed S] [--write]
 //!     Pin the Table 2 traces byte-identically against the frozen
 //!     pre-refactor engine, measure events/s for both engines on the
@@ -66,6 +77,7 @@ use rtdvs_bench::figures::{
 use rtdvs_bench::modes::{modes_smoke_config, run_modes};
 use rtdvs_bench::regulator::{regulator_smoke_config, run_regulator};
 use rtdvs_bench::render_normalized_chart;
+use rtdvs_bench::tenants::{compare_tenants, run_tenants, tenants_smoke_config, TenantsArtifact};
 use rtdvs_bench::throughput::{
     compare_throughput, floor_violations, pin_table2_traces, run_throughput,
     throughput_smoke_config, ThroughputArtifact,
@@ -81,6 +93,7 @@ const FAULTS_FILE: &str = "BENCH_faults.json";
 const MODES_FILE: &str = "BENCH_modes.json";
 const REGULATOR_FILE: &str = "BENCH_regulator.json";
 const THROUGHPUT_FILE: &str = "BENCH_throughput.json";
+const TENANTS_FILE: &str = "BENCH_tenants.json";
 
 struct Args {
     command: String,
@@ -109,7 +122,8 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "throughput" => {
+            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "throughput"
+            | "tenants" => {
                 args.command = a;
             }
             "--quick" => args.quick = true,
@@ -153,7 +167,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos|modes|regulator|throughput] [--quick] [--threads N] \
+    "usage: figures [run|check|bench|chaos|modes|regulator|throughput|tenants] [--quick] \
+     [--threads N] \
      [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION] \
      [--write]"
         .to_owned()
@@ -507,6 +522,109 @@ fn regulator(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn tenants(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let path = dir.join(TENANTS_FILE);
+
+    if args.write {
+        let art = run_tenants(&tenants_smoke_config(args.seed));
+        print_tenants_summary(&art);
+        let broken = art.validate();
+        if !broken.is_empty() {
+            for p in &broken {
+                eprintln!("tenants: {p}");
+            }
+            return Err(format!("{} isolation invariant(s) broken", broken.len()));
+        }
+        std::fs::write(&path, art.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        print_tenants_summary(&art);
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read golden {}: {e} (run `figures tenants --write` to create it)",
+            path.display()
+        )
+    })?;
+    let golden =
+        TenantsArtifact::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    // 1. Fresh soak at the golden's seed; everything except wall clock is
+    //    a pure function of it, so the canonical payloads must be
+    //    byte-identical.
+    let fresh = run_tenants(&tenants_smoke_config(golden.seed));
+    let problems = compare_tenants(&golden, &fresh);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("tenants: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {TENANTS_FILE}; if the serving model intentionally \
+             changed, regenerate with `figures tenants --write` and commit",
+            problems.len()
+        ));
+    }
+
+    // 2. The isolation invariants hold on the fresh run: no periodic
+    //    miss, clean audits, no compliant-tenant loss, p99 within limit.
+    let broken = fresh.validate();
+    if !broken.is_empty() {
+        for p in &broken {
+            eprintln!("tenants: {p}");
+        }
+        return Err(format!("{} isolation invariant(s) broken", broken.len()));
+    }
+
+    print_tenants_summary(&fresh);
+    Ok(())
+}
+
+fn print_tenants_summary(art: &TenantsArtifact) {
+    let offered: u64 = art.tenants.iter().map(|t| t.offered).sum();
+    let worst_ratio = art
+        .tenants
+        .iter()
+        .filter(|t| !t.flood)
+        .map(|t| t.p99_ratio)
+        .fold(0.0, f64::max);
+    println!(
+        "tenants: {} tenants, {} requests offered over {} ms; 0 periodic misses, \
+         0 audit findings, worst compliant p99 inflation {:.3}x (limit {:.2}x), {} ms",
+        art.tenants.len(),
+        offered,
+        art.horizon_ms,
+        worst_ratio,
+        art.p99_ratio_limit,
+        art.wall_ms
+    );
+    for t in &art.tenants {
+        println!(
+            "  tenant{} {} quota {:.3} ms  offered {:>8}  served {:>8}  shed {:>7}  \
+             rejected {:>7}  quarantined {:>5} periods  p50 {:>7.3} p99 {:>7.3} \
+             p999 {:>7.3} ms{}",
+            t.tenant,
+            if t.flood { "[flood]" } else { "       " },
+            t.quota_ms,
+            t.offered,
+            t.served,
+            t.shed,
+            t.rejected,
+            t.quarantined_periods,
+            t.p50_ms,
+            t.p99_ms,
+            t.p999_ms,
+            if t.flood {
+                String::new()
+            } else {
+                format!("  ({:.3}x flood-free p99)", t.p99_ratio)
+            }
+        );
+    }
+}
+
 fn throughput(args: &Args) -> Result<(), String> {
     let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
     let path = dir.join(THROUGHPUT_FILE);
@@ -677,6 +795,7 @@ fn main() -> ExitCode {
         "modes" => modes(&args),
         "regulator" => regulator(&args),
         "throughput" => throughput(&args),
+        "tenants" => tenants(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

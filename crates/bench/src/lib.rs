@@ -20,6 +20,7 @@ pub mod runner;
 pub mod stats;
 pub mod sweep;
 pub mod taskfile;
+pub mod tenants;
 pub mod throughput;
 
 pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
@@ -31,6 +32,10 @@ pub use regulator::{regulator_smoke_config, run_regulator, RegulatorConfig};
 pub use runner::{run_sweep_threads, RunnerStats, SweepRun};
 pub use stats::{welch_t, Summary};
 pub use sweep::{run_sweep, Sweep, SweepConfig, SweepRow};
+pub use tenants::{
+    compare_tenants, run_tenants, tenants_smoke_config, TenantOutcome, TenantSpec, TenantsArtifact,
+    TenantsConfig,
+};
 pub use throughput::{
     compare_throughput, floor_violations, pin_table2_traces, run_throughput,
     throughput_smoke_config, PolicyThroughput, ThroughputArtifact, ThroughputConfig,

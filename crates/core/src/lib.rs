@@ -52,6 +52,7 @@ pub mod policy;
 pub mod readyq;
 pub mod sched;
 pub mod task;
+pub mod tenant;
 pub mod time;
 pub mod view;
 
@@ -61,5 +62,6 @@ pub use policy::{DvsPolicy, PolicyKind};
 pub use readyq::ReadyQueue;
 pub use sched::SchedulerKind;
 pub use task::{Task, TaskId, TaskSet};
+pub use tenant::{TenantId, TenantQuota};
 pub use time::{Time, Work};
 pub use view::{InvState, SystemView, TaskView};

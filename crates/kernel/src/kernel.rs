@@ -243,6 +243,8 @@ pub enum KernelError {
     ModeChangeBusy,
     /// The mode-change transaction contained no operations.
     EmptyModeChange,
+    /// A multi-tenant server's quota configuration was invalid.
+    BadTenantConfig(crate::tenants::TenantConfigError),
 }
 
 impl fmt::Display for KernelError {
@@ -260,6 +262,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::EmptyModeChange => {
                 write!(f, "mode-change transaction has no operations")
+            }
+            KernelError::BadTenantConfig(e) => {
+                write!(f, "invalid tenant configuration: {e}")
             }
         }
     }
@@ -409,6 +414,10 @@ pub struct RtKernel {
     /// no per-iteration allocation). Derived state: reconfigured by
     /// [`RtKernel::rebuild_and_reinit`], never serialized.
     pub(crate) rq: ReadyQueue,
+    /// Multi-tenant servers spawned on this kernel, keyed by the periodic
+    /// task that drives each one. Kept here so procfs can read tenant
+    /// state back and checkpoints can restore the pairing.
+    pub(crate) tenant_servers: Vec<(TaskHandle, crate::tenants::TenantServer)>,
 }
 
 impl RtKernel {
@@ -452,6 +461,7 @@ impl RtKernel {
             forced_transitions: 0,
             supervisor: None,
             rq: ReadyQueue::new(),
+            tenant_servers: Vec::new(),
         };
         kernel.log.push((
             Time::ZERO,
@@ -787,6 +797,42 @@ impl RtKernel {
         Ok((handle, server))
     }
 
+    /// Admits a multi-tenant polling server: one periodic task with period
+    /// `period` and budget `budget`, subdivided into the given per-tenant
+    /// quotas (temporal isolation — see [`crate::tenants`]). Submit
+    /// requests with [`crate::tenants::TenantServer::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadTenantConfig`] for an invalid quota set or quotas
+    /// that sum past `budget`; otherwise the same as [`RtKernel::spawn`] —
+    /// the server's full budget must pass admission.
+    pub fn spawn_tenant_server(
+        &mut self,
+        period: Time,
+        budget: Work,
+        quotas: &[rtdvs_core::tenant::TenantQuota],
+    ) -> Result<(TaskHandle, crate::tenants::TenantServer), KernelError> {
+        let total = quotas.iter().fold(Work::ZERO, |acc, q| acc + q.quota);
+        if total.as_ms() > budget.as_ms() + EPS {
+            return Err(KernelError::BadTenantConfig(
+                crate::tenants::TenantConfigError::QuotaExceedsBudget { total, budget },
+            ));
+        }
+        let server =
+            crate::tenants::TenantServer::new(quotas).map_err(KernelError::BadTenantConfig)?;
+        let handle = self.spawn(period, budget, server.body())?;
+        self.tenant_servers.push((handle, server.clone()));
+        Ok((handle, server))
+    }
+
+    /// The multi-tenant servers currently spawned, keyed by their driving
+    /// periodic task.
+    #[must_use]
+    pub fn tenant_servers(&self) -> &[(TaskHandle, crate::tenants::TenantServer)] {
+        &self.tenant_servers
+    }
+
     /// Removes a task. Any outstanding invocation is abandoned.
     ///
     /// # Errors
@@ -799,6 +845,7 @@ impl RtKernel {
             .position(|e| e.handle == handle)
             .ok_or(KernelError::NoSuchTask(handle))?;
         let _ = self.take_entry(idx);
+        self.tenant_servers.retain(|(h, _)| *h != handle);
         self.log.push((self.now, KernelEvent::Removed { handle }));
         self.rebuild_and_reinit();
         Ok(())

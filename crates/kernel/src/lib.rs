@@ -37,6 +37,7 @@ pub mod procfs;
 pub mod server;
 pub mod snapshot;
 pub mod supervisor;
+pub mod tenants;
 
 pub use body::{ColdStartBody, FractionBody, TaskBody, UniformBody, WcetBody};
 pub use kernel::{GovernorState, KernelError, KernelEvent, RtKernel, TaskHandle};
@@ -45,6 +46,7 @@ pub use procfs::{execute, execute_script};
 pub use server::{AperiodicServer, CompletedJob, JobId};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState};
+pub use tenants::{SubmitOutcome, TenantConfigError, TenantLaneStats, TenantServer};
 
 #[cfg(test)]
 mod tests {

@@ -283,6 +283,7 @@ fn apply(kernel: &mut RtKernel, plan: Plan, staged: StagedChange) {
     for handle in &plan.retired {
         if let Some(idx) = kernel.entries.iter().position(|e| e.handle == *handle) {
             let _ = kernel.take_entry(idx);
+            kernel.tenant_servers.retain(|(h, _)| h != handle);
             kernel
                 .log
                 .push((now, KernelEvent::Removed { handle: *handle }));

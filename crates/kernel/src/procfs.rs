@@ -29,6 +29,7 @@
 //! cap <idx|none>                              -> "ok cap=<idx|none>"
 //! transitions                                 -> "retries=N failures=N fallbacks=N forced=N"
 //! ladder                                      -> "pos=<rung> policy=<name>"
+//! tenants                                     -> "none" | one line per tenant lane
 //! supervisor                                  -> "off" | "state=… restores=… checkpoint=…"
 //! supervise <heartbeat_ms>                    -> "ok heartbeat=<ms>"
 //! ```
@@ -189,6 +190,27 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
             kernel.ladder_position(),
             kernel.policy_name()
         )),
+        ("tenants", []) => {
+            let mut lines = Vec::new();
+            for (handle, server) in kernel.tenant_servers() {
+                for l in server.lane_stats() {
+                    lines.push(format!(
+                        "{handle} {} quota={:.3} backlog={} shed={} rejected={} quarantine={}",
+                        l.tenant,
+                        l.quota.as_ms(),
+                        l.backlog,
+                        l.shed,
+                        l.rejected,
+                        if l.quarantined { "yes" } else { "no" },
+                    ));
+                }
+            }
+            if lines.is_empty() {
+                Ok("none".to_owned())
+            } else {
+                Ok(lines.join("\n"))
+            }
+        }
         ("supervisor", []) => Ok(kernel.supervisor_status()),
         ("supervise", [heartbeat]) => {
             let ms: f64 = heartbeat.parse().map_err(|_| "bad heartbeat")?;
@@ -343,6 +365,36 @@ mod tests {
         assert!(s.contains("state=nominal"), "{s}");
         assert!(s.contains("restores=0"), "{s}");
         assert!(execute(&mut k, "supervise -1").starts_with("err:"));
+    }
+
+    #[test]
+    fn tenants_read_back() {
+        use rtdvs_core::tenant::{TenantId, TenantQuota};
+
+        let mut k = kernel();
+        assert_eq!(execute(&mut k, "tenants"), "none");
+        let quotas = [
+            TenantQuota::new(TenantId::from_raw(1), Work::from_ms(0.5), 2),
+            TenantQuota::new(TenantId::from_raw(2), Work::from_ms(0.5), 8),
+        ];
+        let (_, server) = k
+            .spawn_tenant_server(Time::from_ms(10.0), Work::from_ms(2.0), &quotas)
+            .expect("tenant server admits");
+        // Overflow tenant 1's two-deep queue so a shed shows up.
+        for _ in 0..3 {
+            let _ = server.submit(TenantId::from_raw(1), Work::from_ms(0.4), k.now());
+        }
+        let reply = execute(&mut k, "tenants");
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines.len(), 2, "{reply}");
+        assert_eq!(
+            lines[0],
+            "rt1 tenant1 quota=0.500 backlog=2 shed=1 rejected=0 quarantine=no"
+        );
+        assert_eq!(
+            lines[1],
+            "rt1 tenant2 quota=0.500 backlog=0 shed=0 rejected=0 quarantine=no"
+        );
     }
 
     #[test]

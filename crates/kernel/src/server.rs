@@ -131,6 +131,11 @@ pub struct ServerSnapshot {
     pub served: Work,
     /// Releases whose budget was forfeited on an empty queue.
     pub forfeited_releases: u64,
+    /// Per-tenant lane state. Empty for the classic single-stream
+    /// [`AperiodicServer`]; one entry per lane for a
+    /// [`crate::tenants::TenantServer`], so checkpoints restore tenant
+    /// backlogs and replenishment state bit-exactly.
+    pub tenants: Vec<crate::tenants::TenantLaneSnapshot>,
 }
 
 /// Handle for submitting aperiodic jobs and collecting results. Clone it
@@ -221,6 +226,7 @@ impl AperiodicServer {
             next_id: s.next_id,
             served: s.served,
             forfeited_releases: s.forfeited_releases,
+            tenants: Vec::new(),
         }
     }
 

@@ -38,6 +38,7 @@ use rtdvs_sim::{EnergyMeter, SwitchOverhead, Trace};
 use crate::body::{BodyState, ColdStartBody, FractionBody, TaskBody, UniformBody, WcetBody};
 use crate::kernel::{Entry, KernelEvent, RtKernel, ShedTask, TaskHandle};
 use crate::server::{AperiodicServer, CompletedJob, JobId, JobRecord, ServerSnapshot};
+use crate::tenants::{TenantLaneSnapshot, TenantServer};
 
 /// The format tag on a snapshot's first line.
 pub const SNAPSHOT_VERSION: &str = "rtdvs-snapshot/v1";
@@ -391,13 +392,6 @@ fn body_tokens(b: &BodyState) -> String {
             format!("coldstart {} {}", hex(*surcharge), body_tokens(inner))
         }
         BodyState::Server(s) => {
-            let mut out = format!(
-                "server {} {} {} {}",
-                s.next_id,
-                hex(s.served.as_ms()),
-                s.forfeited_releases,
-                s.queue.len(),
-            );
             let job = |r: &JobRecord| {
                 format!(
                     " {} {} {} {}",
@@ -407,24 +401,76 @@ fn body_tokens(b: &BodyState) -> String {
                     hex(r.remaining.as_ms())
                 )
             };
-            for r in &s.queue {
-                out.push_str(&job(r));
-            }
-            out.push_str(&format!(" {}", s.finishing.len()));
-            for r in &s.finishing {
-                out.push_str(&job(r));
-            }
-            out.push_str(&format!(" {}", s.completed.len()));
-            for c in &s.completed {
-                out.push_str(&format!(
+            let completed = |c: &CompletedJob| {
+                format!(
                     " {} {} {} {}",
                     c.id.raw(),
                     hex(c.arrival.as_ms()),
                     hex(c.completed.as_ms()),
                     hex(c.work.as_ms())
-                ));
+                )
+            };
+            if s.tenants.is_empty() {
+                // Classic single-stream server: the v1 token stream is
+                // unchanged, so old snapshots stay loadable byte-for-byte.
+                let mut out = format!(
+                    "server {} {} {} {}",
+                    s.next_id,
+                    hex(s.served.as_ms()),
+                    s.forfeited_releases,
+                    s.queue.len(),
+                );
+                for r in &s.queue {
+                    out.push_str(&job(r));
+                }
+                out.push_str(&format!(" {}", s.finishing.len()));
+                for r in &s.finishing {
+                    out.push_str(&job(r));
+                }
+                out.push_str(&format!(" {}", s.completed.len()));
+                for c in &s.completed {
+                    out.push_str(&completed(c));
+                }
+                out
+            } else {
+                // Multi-tenant server: shared counters, then one lane
+                // record per tenant.
+                let mut out = format!(
+                    "tserver {} {} {} {}",
+                    s.next_id,
+                    hex(s.served.as_ms()),
+                    s.forfeited_releases,
+                    s.tenants.len(),
+                );
+                for l in &s.tenants {
+                    out.push_str(&format!(
+                        " {} {} {} {} {} {} {} {} {} {}",
+                        l.tenant,
+                        hex(l.quota.as_ms()),
+                        l.max_backlog,
+                        hex(l.budget_remaining.as_ms()),
+                        u8::from(l.quarantined),
+                        l.over_streak,
+                        l.shed,
+                        l.rejected,
+                        l.served_jobs,
+                        hex(l.served_work.as_ms()),
+                    ));
+                    out.push_str(&format!(" {}", l.queue.len()));
+                    for r in &l.queue {
+                        out.push_str(&job(r));
+                    }
+                    out.push_str(&format!(" {}", l.finishing.len()));
+                    for r in &l.finishing {
+                        out.push_str(&job(r));
+                    }
+                    out.push_str(&format!(" {}", l.completed.len()));
+                    for c in &l.completed {
+                        out.push_str(&completed(c));
+                    }
+                }
+                out
             }
-            out
         }
     }
 }
@@ -664,32 +710,9 @@ fn parse_body_state(toks: &mut Toks<'_>) -> Result<BodyState, SnapshotError> {
             let next_id = toks.u64()?;
             let served = toks.work()?;
             let forfeited_releases = toks.u64()?;
-            let jobs = |toks: &mut Toks<'_>| -> Result<Vec<JobRecord>, SnapshotError> {
-                let n = toks.usize_()?;
-                (0..n)
-                    .map(|_| {
-                        Ok(JobRecord {
-                            id: toks.u64()?,
-                            arrival: toks.time()?,
-                            total: toks.work()?,
-                            remaining: toks.work()?,
-                        })
-                    })
-                    .collect()
-            };
-            let queue = jobs(toks)?;
-            let finishing = jobs(toks)?;
-            let n = toks.usize_()?;
-            let completed = (0..n)
-                .map(|_| {
-                    Ok(CompletedJob {
-                        id: JobId::from_raw(toks.u64()?),
-                        arrival: toks.time()?,
-                        completed: toks.time()?,
-                        work: toks.work()?,
-                    })
-                })
-                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            let queue = parse_jobs(toks)?;
+            let finishing = parse_jobs(toks)?;
+            let completed = parse_completed(toks)?;
             Ok(BodyState::Server(ServerSnapshot {
                 queue,
                 finishing,
@@ -697,10 +720,74 @@ fn parse_body_state(toks: &mut Toks<'_>) -> Result<BodyState, SnapshotError> {
                 next_id,
                 served,
                 forfeited_releases,
+                tenants: Vec::new(),
+            }))
+        }
+        "tserver" => {
+            let next_id = toks.u64()?;
+            let served = toks.work()?;
+            let forfeited_releases = toks.u64()?;
+            let n_lanes = toks.usize_()?;
+            let tenants = (0..n_lanes)
+                .map(|_| {
+                    Ok(TenantLaneSnapshot {
+                        tenant: toks.u64()?,
+                        quota: toks.work()?,
+                        max_backlog: toks.usize_()?,
+                        budget_remaining: toks.work()?,
+                        quarantined: toks.flag()?,
+                        over_streak: u32::try_from(toks.u64()?)
+                            .map_err(|_| corrupt("over_streak out of range"))?,
+                        shed: toks.u64()?,
+                        rejected: toks.u64()?,
+                        served_jobs: toks.u64()?,
+                        served_work: toks.work()?,
+                        queue: parse_jobs(toks)?,
+                        finishing: parse_jobs(toks)?,
+                        completed: parse_completed(toks)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            Ok(BodyState::Server(ServerSnapshot {
+                queue: Vec::new(),
+                finishing: Vec::new(),
+                completed: Vec::new(),
+                next_id,
+                served,
+                forfeited_releases,
+                tenants,
             }))
         }
         t => Err(corrupt(format!("unknown body state {t:?}"))),
     }
+}
+
+fn parse_jobs(toks: &mut Toks<'_>) -> Result<Vec<JobRecord>, SnapshotError> {
+    let n = toks.usize_()?;
+    (0..n)
+        .map(|_| {
+            Ok(JobRecord {
+                id: toks.u64()?,
+                arrival: toks.time()?,
+                total: toks.work()?,
+                remaining: toks.work()?,
+            })
+        })
+        .collect()
+}
+
+fn parse_completed(toks: &mut Toks<'_>) -> Result<Vec<CompletedJob>, SnapshotError> {
+    let n = toks.usize_()?;
+    (0..n)
+        .map(|_| {
+            Ok(CompletedJob {
+                id: JobId::from_raw(toks.u64()?),
+                arrival: toks.time()?,
+                completed: toks.time()?,
+                work: toks.work()?,
+            })
+        })
+        .collect()
 }
 
 /// Adapter so a [`ColdStartBody`] can wrap an already-boxed revived body.
@@ -720,9 +807,17 @@ impl TaskBody for DynBody {
     }
 }
 
+/// A server queue revived alongside its body during restore.
+enum RevivedServer {
+    /// The classic single-stream polling server.
+    Classic(AperiodicServer),
+    /// A multi-tenant server (routed into `RtKernel::tenant_servers`).
+    Tenant(TenantServer),
+}
+
 /// Revives a body from its captured state, also returning the fresh queue
 /// handle when the body is a polling server.
-fn rebuild_body(state: &BodyState) -> (Box<dyn TaskBody>, Option<AperiodicServer>) {
+fn rebuild_body(state: &BodyState) -> (Box<dyn TaskBody>, Option<RevivedServer>) {
     match state {
         BodyState::Wcet => (Box::new(WcetBody), None),
         BodyState::Fraction(f) => (Box::new(FractionBody(*f)), None),
@@ -735,8 +830,13 @@ fn rebuild_body(state: &BodyState) -> (Box<dyn TaskBody>, Option<AperiodicServer
             )
         }
         BodyState::Server(snap) => {
-            let server = AperiodicServer::from_snapshot(snap);
-            (server.body(), Some(server))
+            if snap.tenants.is_empty() {
+                let server = AperiodicServer::from_snapshot(snap);
+                (server.body(), Some(RevivedServer::Classic(server)))
+            } else {
+                let server = TenantServer::from_snapshot(snap);
+                (server.body(), Some(RevivedServer::Tenant(server)))
+            }
         }
     }
 }
@@ -1011,6 +1111,7 @@ fn restore_from_text(
         forced_transitions,
         supervisor: None,
         rq: rtdvs_core::readyq::ReadyQueue::new(),
+        tenant_servers: Vec::new(),
     };
     if let Some(p) = kernel.applied {
         if p >= kernel.machine.len() {
@@ -1047,8 +1148,10 @@ fn restore_from_text(
             .with_inflated_wcet(stall)
             .map_err(|e| corrupt(format!("bad inflated spec: {e}")))?;
         let (body, server) = rebuild_body(&body_state);
-        if let Some(server) = server {
-            servers.push((handle, server));
+        match server {
+            Some(RevivedServer::Classic(s)) => servers.push((handle, s)),
+            Some(RevivedServer::Tenant(s)) => kernel.tenant_servers.push((handle, s)),
+            None => {}
         }
         kernel.insert_entry(Entry {
             handle,
@@ -1083,8 +1186,10 @@ fn restore_from_text(
         let body_state = parse_body_state(&mut t)?;
         t.done()?;
         let (body, server) = rebuild_body(&body_state);
-        if let Some(server) = server {
-            servers.push((handle, server));
+        match server {
+            Some(RevivedServer::Classic(s)) => servers.push((handle, s)),
+            Some(RevivedServer::Tenant(s)) => kernel.tenant_servers.push((handle, s)),
+            None => {}
         }
         kernel.shed.push(ShedTask {
             handle,
@@ -1295,6 +1400,48 @@ mod tests {
         rdone.sort_by_key(|j| j.id);
         assert_eq!(done, rdone);
         assert_eq!(server.total_served(), rserver.total_served());
+    }
+
+    #[test]
+    fn tenant_server_lanes_survive_the_round_trip() {
+        use rtdvs_core::tenant::{TenantId, TenantQuota};
+
+        let mut k = RtKernel::new(Machine::machine0(), PolicyKind::StaticEdf);
+        let quotas = [
+            TenantQuota::new(TenantId::from_raw(1), w(0.8), 4),
+            TenantQuota::new(TenantId::from_raw(2), w(0.8), 4),
+        ];
+        let (handle, server) = k
+            .spawn_tenant_server(ms(10.0), w(2.0), &quotas)
+            .expect("tenant server admits");
+        k.run_until(ms(0.5));
+        // Mid-backlog state: queued work, a partially-served job, sheds.
+        for _ in 0..6 {
+            let _ = server.submit(TenantId::from_raw(1), w(0.9), k.now());
+        }
+        let _ = server.submit(TenantId::from_raw(2), w(0.3), k.now());
+        k.run_until(ms(15.0));
+        let snap = k.checkpoint().expect("tenant bodies serialize");
+        let (mut revived, servers) = snap.restore().expect("valid");
+        assert!(servers.is_empty(), "no classic servers in this set");
+        assert_eq!(revived.tenant_servers().len(), 1);
+        let (rh, rserver) = {
+            let (rh, rs) = &revived.tenant_servers()[0];
+            (*rh, rs.clone())
+        };
+        assert_eq!(rh, handle);
+        assert_eq!(rserver.snapshot(), server.snapshot(), "bit-exact lanes");
+        // Both halves keep serving identically.
+        k.run_until(ms(120.0));
+        revived.run_until(ms(120.0));
+        for t in [TenantId::from_raw(1), TenantId::from_raw(2)] {
+            assert_eq!(server.take_completed(t), rserver.take_completed(t));
+        }
+        assert_eq!(server.lane_stats(), rserver.lane_stats());
+        assert_eq!(
+            server.total_served().as_ms().to_bits(),
+            rserver.total_served().as_ms().to_bits()
+        );
     }
 
     #[test]

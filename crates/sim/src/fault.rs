@@ -39,6 +39,18 @@ pub struct OverrunFault {
     pub factor: f64,
 }
 
+impl OverrunFault {
+    /// One per-release draw against an externally held stream: `Some`
+    /// multiplier when this release overruns. Always consumes exactly one
+    /// value, so the stream position depends only on the number of
+    /// releases seen. This is the hook for harnesses that drive kernel
+    /// task bodies directly instead of going through the simulator engine.
+    #[must_use]
+    pub fn draw(&self, rng: &mut SplitMix64) -> Option<f64> {
+        fires(rng, self.rate).then_some(self.factor)
+    }
+}
+
 /// Stuck transitions: with probability `rate` per `set_speed`, the machine
 /// silently stays at the old operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +171,16 @@ impl FaultPlan {
     pub fn without_containment(mut self) -> FaultPlan {
         self.containment = false;
         self
+    }
+
+    /// The overrun injector as a standalone `(stream, fault)` pair, seeded
+    /// exactly like the engine's own overrun stream — the same plan
+    /// produces the same overrun pattern whether it is run through the
+    /// simulator or through an external kernel harness.
+    #[must_use]
+    pub fn overrun_injector(&self) -> Option<(SplitMix64, OverrunFault)> {
+        self.overrun
+            .map(|f| (SplitMix64::seed_from_u64(self.seed).split(0x0F_0001), f))
     }
 
     /// `true` if any fault type is installed.
@@ -356,6 +378,19 @@ mod tests {
         // range_f64_inclusive can return exactly 1.0, so allow a hair less
         // than all — but a rate of 1 must fire essentially always.
         assert!(hits >= 63, "rate-1.0 fired only {hits}/64 times");
+    }
+
+    #[test]
+    fn overrun_injector_matches_the_engine_stream() {
+        let plan = FaultPlan::new(42).with_overruns(0.3, 1.5);
+        let (mut rng, fault) = plan.overrun_injector().expect("overruns installed");
+        let mut engine = FaultStreams::new(plan);
+        for _ in 0..256 {
+            let external = fault.draw(&mut rng);
+            let internal = fires(&mut engine.overrun, fault.rate).then_some(fault.factor);
+            assert_eq!(external, internal);
+        }
+        assert!(FaultPlan::none().overrun_injector().is_none());
     }
 
     #[test]

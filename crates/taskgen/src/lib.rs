@@ -21,8 +21,10 @@ use core::fmt;
 use rtdvs_core::task::{Task, TaskSet};
 use rtdvs_core::time::{Time, Work};
 
+pub mod openloop;
 pub mod rng;
 
+pub use openloop::{OpenLoopError, OpenLoopGen, OpenLoopSpec, Request};
 pub use rng::SplitMix64;
 
 /// The paper's three period bands, in milliseconds.

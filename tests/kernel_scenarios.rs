@@ -258,6 +258,67 @@ fn procfs_surfaces_track_mode_lifecycle() {
     assert_eq!(kernel.misses().count(), 0);
 }
 
+/// The procfs `tenants` node tracks live multi-tenant backpressure: a
+/// flooded lane's shedding and quarantine show up in the readback while
+/// a compliant lane's line stays clean, and the periodic set underneath
+/// keeps meeting every deadline.
+#[test]
+fn procfs_tenants_surface_tracks_live_backpressure() {
+    use rtdvs::core::tenant::{TenantId, TenantQuota};
+    use rtdvs::kernel::execute;
+
+    let mut kernel = RtKernel::new(Machine::machine0(), PolicyKind::CcEdf);
+    for t in table2_task_set().tasks() {
+        kernel
+            .spawn(t.period(), t.wcet(), Box::new(FractionBody(0.7)))
+            .unwrap();
+    }
+    assert_eq!(execute(&mut kernel, "tenants"), "none");
+
+    let quotas = [
+        TenantQuota::new(TenantId::from_raw(1), w(0.4), 64),
+        TenantQuota::new(TenantId::from_raw(2), w(0.2), 4),
+    ];
+    let (_, server) = kernel
+        .spawn_tenant_server(ms(10.0), w(0.6), &quotas)
+        .expect("Table 2 at 0.7 fraction leaves room for the server");
+
+    // Tenant 1 stays at half its quota; tenant 2 floods at 10x into a
+    // four-deep queue until shedding and quarantine both engage.
+    let mut t = 0.0;
+    while t < 200.0 {
+        let _ = server.submit(TenantId::from_raw(1), w(0.2), ms(t));
+        for _ in 0..4 {
+            let _ = server.submit(TenantId::from_raw(2), w(0.5), ms(t));
+        }
+        t += 10.0;
+        kernel.run_until(ms(t));
+    }
+
+    let reply = execute(&mut kernel, "tenants");
+    let lines: Vec<&str> = reply.lines().collect();
+    assert_eq!(lines.len(), 2, "{reply}");
+    assert!(
+        lines[0].contains("tenant1") && lines[0].contains("shed=0"),
+        "compliant lane picked up backpressure: {}",
+        lines[0]
+    );
+    assert!(
+        lines[0].contains("rejected=0") && lines[0].contains("quarantine=no"),
+        "compliant lane picked up backpressure: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("tenant2") && lines[1].contains("quarantine=yes"),
+        "the flooded lane must read back quarantined: {}",
+        lines[1]
+    );
+    let stats = &server.lane_stats()[1];
+    assert!(stats.shed > 0, "the four-deep queue must have shed");
+    assert!(stats.rejected > 0, "quarantine must have rejected");
+    assert_eq!(kernel.misses().count(), 0, "hard-RT set stayed clean");
+}
+
 /// The status interface always reflects the live state.
 #[test]
 fn status_tracks_time_and_frequency() {

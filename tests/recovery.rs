@@ -123,6 +123,73 @@ fn restore_is_deterministic() {
     assert_eq!(first.2, second.2);
 }
 
+/// A crash with a multi-tenant server mid-backlog restores every lane
+/// bit-exactly — queued jobs, shed/reject counters, quarantine state —
+/// and the restored kernel drains the backlog to completion with zero
+/// periodic misses.
+#[test]
+fn tenant_server_backlog_survives_a_crash() {
+    use rtdvs::core::tenant::{TenantId, TenantQuota};
+
+    let (mut victim, _) = build(PolicyKind::CcEdf, 0x7E4A);
+    let quotas = [
+        TenantQuota::new(TenantId::from_raw(1), w(1.2), 32),
+        TenantQuota::new(TenantId::from_raw(2), w(0.8), 32),
+    ];
+    let (_, server) = victim
+        .spawn_tenant_server(ms(10.0), w(2.0), &quotas)
+        .expect("Table 2 leaves room for a 0.2-utilization server");
+
+    // Offer 1.5x the server budget for ten periods: a real backlog
+    // builds in both lanes while the guaranteed pass keeps serving.
+    let mut t = 0.0;
+    while t < 100.0 {
+        let _ = server.submit(TenantId::from_raw(1), w(1.8), ms(t));
+        let _ = server.submit(TenantId::from_raw(2), w(1.2), ms(t));
+        t += 10.0;
+        victim.run_until(ms(t));
+    }
+    let snapshot = victim.checkpoint().expect("tenant lanes serialize");
+    let at_checkpoint = server.lane_stats();
+    assert!(
+        at_checkpoint.iter().any(|l| l.backlog > 0),
+        "the overload must leave a mid-backlog checkpoint"
+    );
+    // The crash: everything after the checkpoint is gone.
+    victim.run_until(ms(130.0));
+    drop(victim);
+
+    let (mut restored, classic) = snapshot.restore().expect("snapshot restores");
+    assert!(classic.is_empty(), "no single-stream servers here");
+    let revived = restored.tenant_servers();
+    assert_eq!(revived.len(), 1, "the tenant server survives the crash");
+    let (_, revived_server) = &revived[0];
+    assert_eq!(
+        revived_server.lane_stats(),
+        at_checkpoint,
+        "restored lanes differ from the checkpoint instant"
+    );
+
+    // No new arrivals: the restored server must drain the backlog at the
+    // guaranteed rate and finish the horizon clean.
+    let revived_server = revived_server.clone();
+    restored.run_until(ms(HORIZON_MS));
+    for tenant in [TenantId::from_raw(1), TenantId::from_raw(2)] {
+        assert_eq!(
+            revived_server.pending(tenant),
+            0,
+            "{tenant}: backlog not drained by the horizon"
+        );
+        assert!(
+            !revived_server.take_completed(tenant).is_empty(),
+            "{tenant}: drained jobs must surface as completions"
+        );
+    }
+    assert_eq!(restored.misses().count(), 0, "restored run missed");
+    let findings = audit_kernel_log(restored.log());
+    assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
+}
+
 /// A crash after a committed mode change restores the post-transaction
 /// world: the bumped epoch, the re-parameterized task, and a clean finish.
 #[test]

@@ -40,6 +40,14 @@
 //!   on the engine-dominated policies (a ratio against an in-process
 //!   reference run, never wall-clock, so it cannot flake on slow
 //!   runners).
+//! * `cargo run -p xtask -- tenants` — the tenant-isolation gate:
+//!   delegates to `figures tenants`, which re-runs the seeded two-pass
+//!   multi-tenant soak (one tenant flooding at 10x its quota next to
+//!   five compliant tenants and the hard-RT periodic set under
+//!   fault-injected overruns), asserts zero periodic deadline misses,
+//!   zero quota theft from compliant tenants, and compliant p99 response
+//!   latency within 5% of the flood-free run, and diffs the result
+//!   against the committed `BENCH_tenants.json`.
 //! * `cargo run -p xtask -- analyze` — the static-analysis gate:
 //!   delegates to `rtdvs-analyzer` (lexer, item/call graph, and the
 //!   determinism / panic-reachability / lock-order passes, configured by
@@ -82,6 +90,12 @@
 //!   every task-set change flows through the planned, logged, epoch-
 //!   stamped path; mutating the table anywhere else bypasses the
 //!   schedulability re-validation.
+//! - `tenant-budget-mutation` — direct assignment to a tenant lane's
+//!   `budget_remaining` in `crates/kernel` non-test code outside
+//!   `tenants.rs`. The replenishment/dispatch path is the only place a
+//!   tenant's per-period budget may change; writing it anywhere else
+//!   hands a tenant CPU time its quota never reserved and silently
+//!   breaks temporal isolation.
 //!
 //! Findings can be suppressed per file via `xtask/lint-allow.txt`
 //! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
@@ -95,6 +109,7 @@ use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 /// One lint hit, reported as `path:line: [rule] message`.
+#[derive(Debug)]
 struct Finding {
     path: String,
     line: usize,
@@ -113,10 +128,11 @@ fn main() -> ExitCode {
         Some("modes") => figures_gate("modes", &args[1..]),
         Some("regulator") => figures_gate("regulator", &args[1..]),
         Some("throughput") => figures_gate("throughput", &args[1..]),
+        Some("tenants") => figures_gate("tenants", &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput>"
+                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput|tenants>"
             );
             ExitCode::from(2)
         }
@@ -134,7 +150,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` and `analyze` are
 /// the in-process passes (empty argv); everything else shells out to
 /// cargo so the stages are exactly what a contributor would type.
-const STAGES: [Stage; 13] = [
+const STAGES: [Stage; 14] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -243,6 +259,20 @@ const STAGES: [Stage; 13] = [
             "figures",
             "--",
             "throughput",
+        ],
+    },
+    Stage {
+        name: "tenants",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "tenants",
         ],
     },
 ];
@@ -703,6 +733,27 @@ fn scan_file(rel: &str, source: &str, sanitized: &[String], findings: &mut Vec<F
             }
         }
 
+        if in_kernel && !rel.ends_with("/tenants.rs") {
+            if let Some(pos) = line.find("budget_remaining") {
+                let rest = line[pos + "budget_remaining".len()..].trim_start();
+                if rest.starts_with("+=")
+                    || rest.starts_with("-=")
+                    || (rest.starts_with('=') && !rest.starts_with("=="))
+                {
+                    findings.push(Finding {
+                        path: rel.to_owned(),
+                        line: n,
+                        rule: "tenant-budget-mutation",
+                        msg: "direct write to a tenant lane's `budget_remaining` outside \
+                              tenants.rs; only the replenishment/dispatch path may change a \
+                              tenant's per-period budget — anything else hands out CPU time \
+                              the quota never reserved"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+
         if !is_time {
             for (op_at, op_len) in float_cmp_sites(line) {
                 let lhs = token_before(line, op_at);
@@ -944,6 +995,36 @@ mod tests {
         let findings = scan_source("crates/core/src/x.rs", src);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-unwrap");
+    }
+
+    /// A tenant budget written outside the dispatch module is flagged;
+    /// a comparison is not.
+    #[test]
+    fn tenant_budget_writes_outside_tenants_rs_are_flagged() {
+        let src = "fn f(lane: &mut Lane) {\n    lane.budget_remaining = Work::ZERO;\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "tenant-budget-mutation");
+        assert_eq!(findings[0].line, 2);
+
+        let cmp = "fn f(lane: &Lane) -> bool {\n    lane.budget_remaining == Work::ZERO\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", cmp);
+        assert!(
+            findings.iter().all(|f| f.rule != "tenant-budget-mutation"),
+            "comparison flagged: {findings:?}"
+        );
+    }
+
+    /// The replenishment/dispatch module itself is the one place the
+    /// budget may change.
+    #[test]
+    fn tenant_budget_writes_inside_tenants_rs_are_allowed() {
+        let src = "fn f(lane: &mut Lane) {\n    lane.budget_remaining = lane.quota;\n}\n";
+        let findings = scan_source("crates/kernel/src/tenants.rs", src);
+        assert!(
+            findings.iter().all(|f| f.rule != "tenant-budget-mutation"),
+            "{findings:?}"
+        );
     }
 
     /// Real test modules are still skipped.
