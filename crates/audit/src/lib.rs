@@ -40,11 +40,13 @@
 //! assert!(violations.is_empty(), "{violations:?}");
 //! ```
 
+mod availability;
 mod classify;
 mod kernel_replay;
 mod replay;
 mod violation;
 
+pub use availability::{audit_availability, AvailabilityPolicy};
 pub use classify::{
     classify_misses, fault_induced_misses, policy_bug_misses, ClassifiedMiss, MissClass,
 };

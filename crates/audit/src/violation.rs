@@ -63,6 +63,13 @@ pub enum Rule {
     /// deadline miss or a compliant tenant's shed/rejection occurred that
     /// is attributable to another tenant's overload.
     TenantIsolation,
+    /// A crash restore was not followed by a completed invocation within
+    /// the bounded recovery window — the revived kernel failed to
+    /// demonstrably serve work again in time.
+    RecoveryBound,
+    /// The run's availability (fraction of the horizon at the preferred
+    /// policy with no task shed) fell below the campaign's declared floor.
+    AvailabilityFloor,
 }
 
 impl Rule {
@@ -86,6 +93,8 @@ impl Rule {
             Rule::UnsafeFallback => "unsafe-fallback",
             Rule::CapViolation => "cap-violation",
             Rule::TenantIsolation => "tenant-isolation",
+            Rule::RecoveryBound => "recovery-bound",
+            Rule::AvailabilityFloor => "availability-floor",
         }
     }
 
@@ -109,6 +118,9 @@ impl Rule {
                 "regulator hardening (safe-point fallback & brownout caps)"
             }
             Rule::TenantIsolation => "multi-tenant serving (quota isolation)",
+            Rule::RecoveryBound | Rule::AvailabilityFloor => {
+                "chaos campaign (availability accounting)"
+            }
         }
     }
 }
@@ -179,6 +191,8 @@ mod tests {
             Rule::UnsafeFallback,
             Rule::CapViolation,
             Rule::TenantIsolation,
+            Rule::RecoveryBound,
+            Rule::AvailabilityFloor,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

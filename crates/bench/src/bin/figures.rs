@@ -63,6 +63,24 @@
 //!     the events/s ratio floors (≥5x baseline on the engine-dominated
 //!     soak policies). `--write` regenerates the golden instead. This is
 //!     what `xtask throughput` and the CI throughput-smoke job run.
+//!
+//! figures campaign [--golden-dir DIR] [--seed S] [--write]
+//!     Re-run the composed chaos campaign (WCET overruns + unreliable
+//!     regulator with brownouts + crash/restore kills + mode churn + a
+//!     flooding tenant, all derived from one root seed with phased
+//!     windows) across all six paper policies, enforce the campaign
+//!     invariants (0 policy-blamed misses, 0 audit findings including
+//!     the availability rules, kills actually restored), and diff the
+//!     canonical payload byte-for-byte against the committed
+//!     BENCH_campaign.json. `--write` regenerates the golden instead.
+//!     This is what `xtask campaign` and the CI campaign-smoke job run.
+//!
+//! figures repro [--write] [FILE]
+//!     Replay a minimized chaos repro (`rtdvs-repro/v1`) and require the
+//!     bit-identical audit violation it pins (default FILE:
+//!     results/repro_availability_floor.json). With `--write`, instead
+//!     shrink the known-violating campaign down to a minimal repro and
+//!     write it to FILE. This is what `xtask repro` runs.
 //! ```
 
 use std::num::NonZeroUsize;
@@ -70,6 +88,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rtdvs_bench::artifact::{compare, BenchArtifact};
+use rtdvs_bench::campaign::{
+    campaign_smoke_config, compare_campaign, known_violating_campaign, replay_repro, run_campaign,
+    shrink_plan, CampaignArtifact, ReproArtifact,
+};
 use rtdvs_bench::chaos::{chaos_smoke_config, run_chaos};
 use rtdvs_bench::figures::{
     paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
@@ -94,6 +116,11 @@ const MODES_FILE: &str = "BENCH_modes.json";
 const REGULATOR_FILE: &str = "BENCH_regulator.json";
 const THROUGHPUT_FILE: &str = "BENCH_throughput.json";
 const TENANTS_FILE: &str = "BENCH_tenants.json";
+const CAMPAIGN_FILE: &str = "BENCH_campaign.json";
+
+/// Default location of the committed minimized repro, relative to the
+/// repository root.
+const REPRO_FILE: &str = "results/repro_availability_floor.json";
 
 struct Args {
     command: String,
@@ -105,6 +132,7 @@ struct Args {
     golden_dir: Option<PathBuf>,
     tolerance: f64,
     write: bool,
+    file: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -118,12 +146,13 @@ fn parse_args() -> Result<Args, String> {
         golden_dir: None,
         tolerance: 0.01,
         write: false,
+        file: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "throughput"
-            | "tenants" => {
+            | "tenants" | "campaign" | "repro" => {
                 args.command = a;
             }
             "--quick" => args.quick = true,
@@ -160,6 +189,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => return Err(usage()),
+            other if args.command == "repro" && args.file.is_none() && !other.starts_with('-') => {
+                args.file = Some(PathBuf::from(other));
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -167,10 +199,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos|modes|regulator|throughput|tenants] [--quick] \
-     [--threads N] \
+    "usage: figures [run|check|bench|chaos|modes|regulator|throughput|tenants|campaign|repro] \
+     [--quick] [--threads N] \
      [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION] \
-     [--write]"
+     [--write] [FILE (repro only)]"
         .to_owned()
 }
 
@@ -737,6 +769,155 @@ fn print_throughput_summary(art: &ThroughputArtifact) {
     }
 }
 
+fn campaign(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let path = dir.join(CAMPAIGN_FILE);
+
+    if args.write {
+        let art = run_campaign(&campaign_smoke_config(args.seed));
+        let broken = art.validate();
+        if !broken.is_empty() {
+            for p in &broken {
+                eprintln!("campaign: {p}");
+            }
+            return Err(format!("{} campaign invariant(s) broken", broken.len()));
+        }
+        std::fs::write(&path, art.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        print_campaign_summary(&art);
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read golden {}: {e} (run `figures campaign --write` to create it)",
+            path.display()
+        )
+    })?;
+    let golden =
+        CampaignArtifact::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    // 1. Fresh campaign at the golden's seed; everything except wall
+    //    clock is a pure function of it, so the canonical payloads must
+    //    be byte-identical.
+    let fresh = run_campaign(&campaign_smoke_config(golden.seed));
+    let problems = compare_campaign(&golden, &fresh);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("campaign: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {CAMPAIGN_FILE}; if the chaos model intentionally \
+             changed, regenerate with `figures campaign --write` and commit",
+            problems.len()
+        ));
+    }
+
+    // 2. The campaign invariants hold on the fresh run: no policy-blamed
+    //    miss, no audit finding, every kill restored, availability above
+    //    the declared floor.
+    let broken = fresh.validate();
+    if !broken.is_empty() {
+        for p in &broken {
+            eprintln!("campaign: {p}");
+        }
+        return Err(format!("{} campaign invariant(s) broken", broken.len()));
+    }
+
+    print_campaign_summary(&fresh);
+    Ok(())
+}
+
+fn print_campaign_summary(art: &CampaignArtifact) {
+    println!(
+        "campaign: {} policies x [{}] over {} ms (seed {:#x}); 0 blamed misses, \
+         0 audit findings, floor {:.2}, recovery bound {:.0} ms, {} ms wall",
+        art.cells.len(),
+        art.dimensions.join(", "),
+        art.horizon_ms,
+        art.seed,
+        art.min_availability,
+        art.max_recovery_ms,
+        art.wall_ms
+    );
+    for c in &art.cells {
+        println!(
+            "  {:>9}  kills {:>2} restores {:>2}  churn {:>3}  served {:>5}/{:>5}  \
+             excused {:>3}  avail {:.4}  mttf {:>8.1} mttr {:>7.1} worst-rec {:>7.1} ms",
+            c.policy,
+            c.kills,
+            c.restores,
+            c.churn_commits,
+            c.served,
+            c.compliant_offered + c.flood_offered,
+            c.excused_misses,
+            c.availability,
+            c.mttf_ms,
+            c.mttr_ms,
+            c.worst_recovery_ms
+        );
+    }
+}
+
+fn repro(args: &Args) -> Result<(), String> {
+    let path = args
+        .file
+        .clone()
+        .unwrap_or_else(|| repo_root().join(REPRO_FILE));
+
+    if args.write {
+        let (kind, plan, avail) = known_violating_campaign(args.seed);
+        println!(
+            "repro: shrinking the known-violating campaign (policy {}, {} ms, \
+             dimensions [{}])...",
+            kind.name(),
+            plan.horizon_ms,
+            plan.active_dimensions().join(", ")
+        );
+        let repro = shrink_plan(kind, &plan, &avail)?;
+        replay_repro(&repro)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&path, repro.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        print_repro_summary(&repro);
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read repro {}: {e} (run `figures repro --write` to create it)",
+            path.display()
+        )
+    })?;
+    let repro = ReproArtifact::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    replay_repro(&repro)?;
+    println!(
+        "repro: {} replays to the identical violation",
+        path.display()
+    );
+    print_repro_summary(&repro);
+    Ok(())
+}
+
+fn print_repro_summary(repro: &ReproArtifact) {
+    println!(
+        "  policy {}  seed {:#x}  horizon {} ms  dimensions [{}]",
+        repro.policy,
+        repro.plan.seed,
+        repro.plan.horizon_ms,
+        repro.plan.active_dimensions().join(", ")
+    );
+    println!(
+        "  [{}] t={:.3} ms: {}",
+        repro.violation.rule, repro.violation.time_ms, repro.violation.details
+    );
+}
+
 fn bench(args: &Args) -> Result<(), String> {
     let scale = figures_scale(args.quick);
     println!(
@@ -796,6 +977,8 @@ fn main() -> ExitCode {
         "regulator" => regulator(&args),
         "throughput" => throughput(&args),
         "tenants" => tenants(&args),
+        "campaign" => campaign(&args),
+        "repro" => repro(&args),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod campaign;
 pub mod chaos;
 pub mod chart;
 pub mod figures;
@@ -24,6 +25,12 @@ pub mod tenants;
 pub mod throughput;
 
 pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
+pub use campaign::{
+    campaign_smoke_config, cell_findings, compare_campaign, known_violating_campaign, materialize,
+    policy_by_name, replay_repro, run_campaign, shrink_plan, CampaignArtifact, CampaignCell,
+    CampaignConfig, CampaignSchedules, ChaosPlan, ChurnDim, FaultDim, FloodDim, KillDim,
+    RegulatorDim, ReproArtifact, ReproViolation, Window,
+};
 pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
 pub use chart::render_normalized_chart;
 pub use figures::*;

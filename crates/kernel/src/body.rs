@@ -56,6 +56,21 @@ pub enum BodyState {
     },
     /// A polling-server body, with the server's full queue state.
     Server(crate::server::ServerSnapshot),
+    /// [`OverrunBody`] with both PRNG words and its injection knobs.
+    Overrun {
+        /// Demand-stream [`SplitMix64`] state.
+        base_state: u64,
+        /// Fault-stream [`SplitMix64`] state.
+        fault_state: u64,
+        /// Per-invocation overrun probability.
+        rate: f64,
+        /// Demand multiplier on an overrunning invocation.
+        factor: f64,
+        /// First invocation (1-based) eligible to overrun.
+        from: u64,
+        /// First invocation no longer eligible (exclusive bound).
+        until: u64,
+    },
 }
 
 impl<F> TaskBody for F
@@ -130,6 +145,99 @@ impl TaskBody for UniformBody {
     fn snapshot_state(&self) -> Option<BodyState> {
         Some(BodyState::Uniform {
             rng_state: self.rng.state(),
+        })
+    }
+}
+
+/// A serializable fault-injecting body: each invocation draws a uniform
+/// demand in `[0.55, 0.95] × C_i`, and with probability `rate` (inside the
+/// invocation window) the demand is instead forced to `factor × C_i`,
+/// violating condition C2 the same way the simulator's overrun fault does.
+///
+/// Unlike a closure wired to [`rtdvs_sim`]'s injector streams, this body
+/// checkpoints: both PRNG words travel in the snapshot, so a kill/restore
+/// resumes the exact demand *and* fault sequence. Both streams advance by
+/// exactly one draw per invocation regardless of rate or window, so the
+/// stream position depends only on the invocation count — the invariant
+/// chaos-campaign bisection rests on.
+#[derive(Debug)]
+pub struct OverrunBody {
+    base: SplitMix64,
+    fault: SplitMix64,
+    rate: f64,
+    factor: f64,
+    from: u64,
+    until: u64,
+}
+
+impl OverrunBody {
+    /// Creates the body from an already-split stream (derive it from your
+    /// root seed via [`SplitMix64::split`] — never a literal seed). The
+    /// demand and fault streams are split off `root` internally. A
+    /// non-positive `rate` never overruns but still draws.
+    #[must_use]
+    pub fn new(root: SplitMix64, rate: f64, factor: f64) -> OverrunBody {
+        OverrunBody {
+            base: root.split(0),
+            fault: root.split(1),
+            rate,
+            factor,
+            from: 1,
+            until: u64::MAX,
+        }
+    }
+
+    /// Restricts overruns to invocations in `[from, until)` (1-based).
+    #[must_use]
+    pub fn with_window(mut self, from: u64, until: u64) -> OverrunBody {
+        self.from = from;
+        self.until = until;
+        self
+    }
+
+    /// Resumes a body from captured PRNG words and knobs (see
+    /// [`BodyState::Overrun`]); both streams continue exactly where the
+    /// captured body left off.
+    #[must_use]
+    pub fn from_state(
+        base_state: u64,
+        fault_state: u64,
+        rate: f64,
+        factor: f64,
+        from: u64,
+        until: u64,
+    ) -> OverrunBody {
+        OverrunBody {
+            base: SplitMix64::seed_from_u64(base_state),
+            fault: SplitMix64::seed_from_u64(fault_state),
+            rate,
+            factor,
+            from,
+            until,
+        }
+    }
+}
+
+impl TaskBody for OverrunBody {
+    fn run(&mut self, invocation: u64, spec: &Task) -> Work {
+        // Always one draw per stream per invocation, unconditionally.
+        let demand = spec.wcet() * self.base.range_f64(0.55, 0.95);
+        let fires = self.fault.next_f64() < self.rate;
+        if fires && invocation >= self.from && invocation < self.until {
+            spec.wcet() * self.factor
+        } else {
+            demand
+        }
+    }
+
+    fn snapshot_state(&self) -> Option<BodyState> {
+        Some(BodyState::Overrun {
+            base_state: self.base.state(),
+            fault_state: self.fault.state(),
+            rate: self.rate,
+            factor: self.factor,
+            from: self.from,
+            until: self.until,
         })
     }
 }
@@ -219,6 +327,79 @@ mod tests {
         };
         assert_eq!(TaskBody::run(&mut body, 1, &spec()).as_ms(), 4.0);
         assert_eq!(TaskBody::run(&mut body, 2, &spec()).as_ms(), 1.0);
+    }
+
+    #[test]
+    fn overrun_body_is_deterministic_and_draw_stable() {
+        let root = SplitMix64::seed_from_u64(7).split(0x0C_0001);
+        let mut hot = OverrunBody::new(root, 1.0, 1.5);
+        let mut cold = OverrunBody::new(root, 0.0, 1.5);
+        for inv in 1..=50 {
+            let h = hot.run(inv, &spec());
+            let c = cold.run(inv, &spec());
+            assert_eq!(h.as_ms(), 6.0, "rate 1 always overruns to 1.5 × C");
+            assert!(c.as_ms() >= 0.55 * 4.0 && c.as_ms() <= 0.95 * 4.0);
+        }
+        // Same stream positions regardless of rate: the rate-0 body's
+        // state matches a rate-1 body's after the same invocation count.
+        let (
+            Some(BodyState::Overrun {
+                base_state: a,
+                fault_state: fa,
+                ..
+            }),
+            Some(BodyState::Overrun {
+                base_state: b,
+                fault_state: fb,
+                ..
+            }),
+        ) = (hot.snapshot_state(), cold.snapshot_state())
+        else {
+            panic!("overrun bodies must serialize");
+        };
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn overrun_body_window_gates_injection_without_skewing_streams() {
+        let root = SplitMix64::seed_from_u64(9).split(0x0C_0001);
+        let mut windowed = OverrunBody::new(root, 1.0, 2.0).with_window(3, 5);
+        let mut open = OverrunBody::new(root, 1.0, 2.0);
+        for inv in 1..=8 {
+            let w = windowed.run(inv, &spec());
+            let o = open.run(inv, &spec());
+            assert_eq!(o.as_ms(), 8.0);
+            if (3..5).contains(&inv) {
+                assert_eq!(w.as_ms(), 8.0, "inv {inv} inside window");
+            } else {
+                assert!(w.as_ms() < 4.0, "inv {inv} outside window");
+            }
+        }
+    }
+
+    #[test]
+    fn overrun_body_resumes_from_state() {
+        let root = SplitMix64::seed_from_u64(11).split(0x0C_0001);
+        let mut a = OverrunBody::new(root, 0.3, 1.5).with_window(1, 100);
+        for inv in 1..=10 {
+            a.run(inv, &spec());
+        }
+        let Some(BodyState::Overrun {
+            base_state,
+            fault_state,
+            rate,
+            factor,
+            from,
+            until,
+        }) = a.snapshot_state()
+        else {
+            panic!("must serialize");
+        };
+        let mut b = OverrunBody::from_state(base_state, fault_state, rate, factor, from, until);
+        for inv in 11..=30 {
+            assert_eq!(a.run(inv, &spec()), b.run(inv, &spec()));
+        }
     }
 
     #[test]

@@ -600,6 +600,36 @@ impl RtKernel {
         self.ladder_pos
     }
 
+    /// The degradation ladder's rung names, top to bottom, as they appear
+    /// in [`KernelEvent::LadderStepped`] — the key for mapping ladder
+    /// events back to depths during availability replay.
+    #[must_use]
+    pub fn ladder_rung_names(&self) -> Vec<&'static str> {
+        self.ladder_rungs().iter().map(|k| k.name()).collect()
+    }
+
+    /// Records that this kernel was just revived from a snapshot after a
+    /// crash, stamping [`KernelEvent::SupervisorRestored`] at the current
+    /// clock. Harnesses that restore by hand (outside a [`Supervisor`])
+    /// call this so availability replay sees the outage.
+    ///
+    /// [`Supervisor`]: crate::supervisor::Supervisor
+    pub fn mark_restored(&mut self) {
+        self.log.push((self.now, KernelEvent::SupervisorRestored));
+    }
+
+    /// Availability accounting replayed from the event log: uptime split
+    /// by ladder depth, outage count, MTTF/MTTR, and post-restore recovery
+    /// latencies. Pure log replay — calling it never perturbs a run.
+    #[must_use]
+    pub fn availability(&self) -> crate::availability::AvailabilityStats {
+        crate::availability::AvailabilityStats::replay(
+            &self.log,
+            self.now,
+            &self.ladder_rung_names(),
+        )
+    }
+
     /// The kernel's virtual clock.
     #[must_use]
     pub fn now(&self) -> Time {

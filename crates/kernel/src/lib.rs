@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod body;
 pub mod kernel;
 pub mod modechange;
@@ -39,7 +40,10 @@ pub mod snapshot;
 pub mod supervisor;
 pub mod tenants;
 
-pub use body::{ColdStartBody, FractionBody, TaskBody, UniformBody, WcetBody};
+pub use availability::AvailabilityStats;
+pub use body::{
+    BodyState, ColdStartBody, FractionBody, OverrunBody, TaskBody, UniformBody, WcetBody,
+};
 pub use kernel::{GovernorState, KernelError, KernelEvent, RtKernel, TaskHandle};
 pub use modechange::{ModeChange, ModeChangeReceipt};
 pub use procfs::{execute, execute_script};

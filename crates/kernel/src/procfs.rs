@@ -29,6 +29,7 @@
 //! cap <idx|none>                              -> "ok cap=<idx|none>"
 //! transitions                                 -> "retries=N failures=N fallbacks=N forced=N"
 //! ladder                                      -> "pos=<rung> policy=<name>"
+//! availability                                -> "up=… nominal=… mttf=… rungs=…"
 //! tenants                                     -> "none" | one line per tenant lane
 //! supervisor                                  -> "off" | "state=… restores=… checkpoint=…"
 //! supervise <heartbeat_ms>                    -> "ok heartbeat=<ms>"
@@ -210,6 +211,28 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
             } else {
                 Ok(lines.join("\n"))
             }
+        }
+        ("availability", []) => {
+            let stats = kernel.availability();
+            let rungs = stats
+                .rung_ms
+                .iter()
+                .map(|ms| format!("{ms:.3}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            Ok(format!(
+                "up={:.6} nominal={:.3} degraded={:.3} outages={} failures={} \
+                 recoveries={} mttf={:.3} mttr={:.3} worst_recovery={:.3} rungs={rungs}",
+                stats.availability(),
+                stats.nominal_ms,
+                stats.degraded_ms,
+                stats.outages,
+                stats.failures,
+                stats.recoveries,
+                stats.mttf_ms(),
+                stats.mttr_ms(),
+                stats.worst_recovery_ms,
+            ))
         }
         ("supervisor", []) => Ok(kernel.supervisor_status()),
         ("supervise", [heartbeat]) => {

@@ -35,7 +35,9 @@ use rtdvs_core::time::{Time, Work};
 use rtdvs_core::view::InvState;
 use rtdvs_sim::{EnergyMeter, SwitchOverhead, Trace};
 
-use crate::body::{BodyState, ColdStartBody, FractionBody, TaskBody, UniformBody, WcetBody};
+use crate::body::{
+    BodyState, ColdStartBody, FractionBody, OverrunBody, TaskBody, UniformBody, WcetBody,
+};
 use crate::kernel::{Entry, KernelEvent, RtKernel, ShedTask, TaskHandle};
 use crate::server::{AperiodicServer, CompletedJob, JobId, JobRecord, ServerSnapshot};
 use crate::tenants::{TenantLaneSnapshot, TenantServer};
@@ -388,6 +390,18 @@ fn body_tokens(b: &BodyState) -> String {
         BodyState::Wcet => "wcet".into(),
         BodyState::Fraction(f) => format!("fraction {}", hex(*f)),
         BodyState::Uniform { rng_state } => format!("uniform {rng_state:016x}"),
+        BodyState::Overrun {
+            base_state,
+            fault_state,
+            rate,
+            factor,
+            from,
+            until,
+        } => format!(
+            "overrun {base_state:016x} {fault_state:016x} {} {} {from} {until}",
+            hex(*rate),
+            hex(*factor)
+        ),
         BodyState::ColdStart { surcharge, inner } => {
             format!("coldstart {} {}", hex(*surcharge), body_tokens(inner))
         }
@@ -698,6 +712,14 @@ fn parse_body_state(toks: &mut Toks<'_>) -> Result<BodyState, SnapshotError> {
         "uniform" => Ok(BodyState::Uniform {
             rng_state: toks.bits()?,
         }),
+        "overrun" => Ok(BodyState::Overrun {
+            base_state: toks.bits()?,
+            fault_state: toks.bits()?,
+            rate: toks.f64_()?,
+            factor: toks.f64_()?,
+            from: toks.u64()?,
+            until: toks.u64()?,
+        }),
         "coldstart" => {
             let surcharge = toks.f64_()?;
             let inner = parse_body_state(toks)?;
@@ -822,6 +844,24 @@ fn rebuild_body(state: &BodyState) -> (Box<dyn TaskBody>, Option<RevivedServer>)
         BodyState::Wcet => (Box::new(WcetBody), None),
         BodyState::Fraction(f) => (Box::new(FractionBody(*f)), None),
         BodyState::Uniform { rng_state } => (Box::new(UniformBody::from_state(*rng_state)), None),
+        BodyState::Overrun {
+            base_state,
+            fault_state,
+            rate,
+            factor,
+            from,
+            until,
+        } => (
+            Box::new(OverrunBody::from_state(
+                *base_state,
+                *fault_state,
+                *rate,
+                *factor,
+                *from,
+                *until,
+            )),
+            None,
+        ),
         BodyState::ColdStart { surcharge, inner } => {
             let (inner, server) = rebuild_body(inner);
             (

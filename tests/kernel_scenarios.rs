@@ -319,6 +319,93 @@ fn procfs_tenants_surface_tracks_live_backpressure() {
     assert_eq!(kernel.misses().count(), 0, "hard-RT set stayed clean");
 }
 
+/// The procfs `availability` node reads back live MTTF/MTTR accounting
+/// through a full degrade/crash/recover lifecycle — and every field
+/// agrees exactly with the `kernel.availability()` replay it fronts.
+#[test]
+fn procfs_availability_surface_tracks_outage_accounting() {
+    use rtdvs::kernel::execute;
+    use rtdvs::platform::{PowerNowCpu, RegulatorPlan, UnreliableRegulator};
+
+    fn field<'a>(reply: &'a str, key: &str) -> &'a str {
+        reply
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("missing {key} in {reply:?}"))
+    }
+
+    // The relaxed Table 2 set leaves headroom for overhead inflation on
+    // the prototype machine.
+    let relaxed = [(16.0, 3.0), (20.0, 3.0), (28.0, 1.0)];
+    let cpu = PowerNowCpu::k6_2_plus_550();
+    let machine = cpu.machine().expect("prototype machine is valid");
+    let mut kernel = RtKernel::new(machine, PolicyKind::CcEdf)
+        .with_accounted_switch_overhead(cpu.switch_overhead());
+    for &(p, c) in &relaxed {
+        kernel
+            .spawn(ms(p), w(c), Box::new(FractionBody(0.7)))
+            .unwrap();
+    }
+
+    // A clean run reads back fully nominal.
+    kernel.run_until(ms(50.0));
+    let reply = execute(&mut kernel, "availability");
+    assert_eq!(field(&reply, "up"), "1.000000", "{reply}");
+    assert_eq!(field(&reply, "outages"), "0", "{reply}");
+    assert_eq!(field(&reply, "failures"), "0", "{reply}");
+    assert_eq!(field(&reply, "degraded"), "0.000", "{reply}");
+
+    // A rate-1.0 regulator trips fallback containment: the ladder steps
+    // below the preferred policy and degraded time starts accruing.
+    kernel.attach_regulator(Box::new(UnreliableRegulator::new(
+        PowerNowCpu::k6_2_plus_550(),
+        RegulatorPlan::new(0xA7A1_15ED).with_failures(1.0),
+    )));
+    kernel.run_until(ms(250.0));
+    assert!(
+        kernel.ladder_position() > 0,
+        "failures must step the ladder"
+    );
+
+    // Crash at 250 ms, revive from the checkpoint. The restore drops the
+    // regulator, so the next clean review window climbs the ladder back.
+    let snapshot = kernel.checkpoint().expect("checkpoint serializes");
+    drop(kernel);
+    let (mut kernel, _) = snapshot.restore().expect("snapshot restores");
+    kernel.mark_restored();
+    kernel.run_until(ms(400.0));
+
+    let stats = kernel.availability();
+    assert_eq!(stats.outages, 1);
+    assert!(stats.failures >= 1, "the ladder step is a failure");
+    assert!(stats.recoveries >= 1, "the climb back is a recovery");
+    assert!(stats.degraded_ms > 0.0);
+    assert!(
+        stats.worst_recovery_ms > 0.0,
+        "a completion after the restore closes the recovery"
+    );
+
+    // The procfs surface is the same replay, field for field.
+    let reply = execute(&mut kernel, "availability");
+    assert_eq!(field(&reply, "up"), format!("{:.6}", stats.availability()));
+    assert_eq!(field(&reply, "nominal"), format!("{:.3}", stats.nominal_ms));
+    assert_eq!(
+        field(&reply, "degraded"),
+        format!("{:.3}", stats.degraded_ms)
+    );
+    assert_eq!(field(&reply, "outages"), stats.outages.to_string());
+    assert_eq!(field(&reply, "failures"), stats.failures.to_string());
+    assert_eq!(field(&reply, "recoveries"), stats.recoveries.to_string());
+    assert_eq!(field(&reply, "mttf"), format!("{:.3}", stats.mttf_ms()));
+    assert_eq!(field(&reply, "mttr"), format!("{:.3}", stats.mttr_ms()));
+    assert_eq!(
+        field(&reply, "worst_recovery"),
+        format!("{:.3}", stats.worst_recovery_ms)
+    );
+    let rungs: Vec<String> = stats.rung_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+    assert_eq!(field(&reply, "rungs"), rungs.join(","));
+}
+
 /// The status interface always reflects the live state.
 #[test]
 fn status_tracks_time_and_frequency() {

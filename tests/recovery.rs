@@ -4,7 +4,7 @@
 //! misses no deadline a continuous run would have met — with the stitched
 //! (pre-crash + post-restore) event log passing the lifecycle audit.
 
-use rtdvs::audit::audit_kernel_log;
+use rtdvs::audit::{audit_kernel_log, Rule};
 use rtdvs::kernel::{ModeChange, RtKernel, Snapshot, TaskHandle, UniformBody};
 use rtdvs::taskgen::SplitMix64;
 use rtdvs::{Machine, PolicyKind, Time, Work};
@@ -187,6 +187,128 @@ fn tenant_server_backlog_survives_a_crash() {
     }
     assert_eq!(restored.misses().count(), 0, "restored run missed");
     let findings = audit_kernel_log(restored.log());
+    assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
+}
+
+/// The compound-degraded crash: a kernel killed while a tenant lane is
+/// quarantined, a brownout cap is imposed, AND the degradation ladder
+/// sits below the preferred policy (a rate-1.0 regulator keeps tripping
+/// fallback containment). The snapshot text round-trips bit-exactly
+/// through `Snapshot::from_text`, the restore revives every piece of
+/// that compound state, and the stitched trace — with the restore
+/// stamped as a supervisor outage — passes the lifecycle audit.
+#[test]
+fn compound_degraded_state_survives_a_crash() {
+    use rtdvs::core::tenant::{TenantId, TenantQuota};
+    use rtdvs::platform::{PowerNowCpu, RegulatorPlan, UnreliableRegulator};
+
+    // The relaxed Table 2 set: enough headroom that the capped machine
+    // still fits it, so the degradation stays a policy downgrade rather
+    // than an overload.
+    const RELAXED: [(f64, f64); 3] = [(16.0, 3.0), (20.0, 3.0), (28.0, 1.0)];
+
+    let cpu = PowerNowCpu::k6_2_plus_550();
+    let machine = cpu.machine().expect("prototype machine is valid");
+    let mut victim = RtKernel::new(machine, PolicyKind::CcEdf)
+        .with_accounted_switch_overhead(cpu.switch_overhead());
+    let mut rng = SplitMix64::seed_from_u64(0xD16E_57A7);
+    for &(p, c) in &RELAXED {
+        victim
+            .spawn(ms(p), w(c), Box::new(UniformBody::new(rng.next_u64())))
+            .expect("the relaxed set is admissible");
+    }
+    let quotas = [
+        TenantQuota::new(TenantId::from_raw(1), w(0.4), 64),
+        TenantQuota::new(TenantId::from_raw(2), w(0.2), 4),
+    ];
+    let (_, server) = victim
+        .spawn_tenant_server(ms(10.0), w(0.6), &quotas)
+        .expect("the relaxed set leaves room for the server");
+    let regulator_seed = rng.next_u64();
+    victim.attach_regulator(Box::new(UnreliableRegulator::new(
+        PowerNowCpu::k6_2_plus_550(),
+        RegulatorPlan::new(regulator_seed).with_failures(1.0),
+    )));
+    victim.set_brownout_cap(Some(3));
+
+    // Tenant 2 floods its four-deep queue at 10x quota until quarantine
+    // engages; the failing regulator meanwhile feeds the ladder governor
+    // enough fallbacks to step below the preferred policy.
+    let mut t = 0.0;
+    while t < 200.0 {
+        let _ = server.submit(TenantId::from_raw(1), w(0.2), ms(t));
+        for _ in 0..4 {
+            let _ = server.submit(TenantId::from_raw(2), w(0.5), ms(t));
+        }
+        t += 10.0;
+        victim.run_until(ms(t));
+    }
+    assert!(
+        server.lane_stats()[1].quarantined,
+        "the flooded lane must be quarantined at the kill"
+    );
+    assert!(
+        victim.ladder_position() > 0,
+        "the ladder must sit below the preferred policy at the kill"
+    );
+    let ladder_at_kill = victim.ladder_position();
+    let snapshot = victim.checkpoint().expect("compound state serializes");
+    let lanes_at_kill = server.lane_stats();
+
+    // The snapshot's text form is the durable artifact: parsing it back
+    // and re-rendering must reproduce the bytes exactly.
+    let text = snapshot.as_text().to_owned();
+    let reparsed = Snapshot::from_text(&text).expect("snapshot text parses");
+    assert_eq!(
+        reparsed.as_text(),
+        text,
+        "snapshot text must round-trip bit-exactly"
+    );
+
+    // The crash: everything after the checkpoint is gone.
+    victim.run_until(ms(230.0));
+    drop(victim);
+
+    let (mut restored, classic) = reparsed.restore().expect("snapshot restores");
+    assert!(classic.is_empty(), "no single-stream servers here");
+    assert_eq!(
+        restored.brownout_cap(),
+        Some(3),
+        "the brownout cap survives the crash"
+    );
+    assert_eq!(
+        restored.ladder_position(),
+        ladder_at_kill,
+        "the ladder depth survives the crash"
+    );
+    let revived = restored.tenant_servers();
+    assert_eq!(revived.len(), 1);
+    let revived_server = revived[0].1.clone();
+    assert_eq!(
+        revived_server.lane_stats(),
+        lanes_at_kill,
+        "restored lanes differ from the checkpoint instant"
+    );
+
+    // Revive as the supervisor would: stamp the outage and re-attach the
+    // (stateless-hardware) regulator from the same failure-plan seed.
+    restored.mark_restored();
+    restored.attach_regulator(Box::new(UnreliableRegulator::new(
+        PowerNowCpu::k6_2_plus_550(),
+        RegulatorPlan::new(regulator_seed).with_failures(1.0),
+    )));
+    restored.run_until(ms(HORIZON_MS));
+
+    let stats = restored.availability();
+    assert_eq!(stats.outages, 1, "the restore reads back as one outage");
+    assert!(
+        stats.degraded_ms > 0.0,
+        "time below the preferred rung must be accounted"
+    );
+    let findings: Vec<_> = audit_kernel_log(restored.log())
+        .into_iter()
+        .filter(|v| v.rule != Rule::DeadlineMiss)
+        .collect();
     assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
 }
 

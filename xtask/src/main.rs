@@ -48,6 +48,20 @@
 //!   zero quota theft from compliant tenants, and compliant p99 response
 //!   latency within 5% of the flood-free run, and diffs the result
 //!   against the committed `BENCH_tenants.json`.
+//! * `cargo run -p xtask -- campaign` — the composed-chaos gate:
+//!   delegates to `figures campaign`, which re-runs the unified chaos
+//!   campaign (WCET overruns, unreliable regulator with brownout caps,
+//!   crash/restore kills, transactional mode churn, and a flooding
+//!   tenant — all derived from one root seed with phased adversity
+//!   windows) across all six paper policies, enforces the campaign
+//!   invariants (no policy-blamed miss, no audit finding including the
+//!   availability rules, every kill restored), and diffs the canonical
+//!   payload byte-for-byte against the committed `BENCH_campaign.json`.
+//! * `cargo run -p xtask -- repro [FILE]` — replays a minimized chaos
+//!   repro (`rtdvs-repro/v1`, default
+//!   `results/repro_availability_floor.json`) via `figures repro` and
+//!   requires the bit-identical audit violation it pins; `--write`
+//!   re-shrinks the known-violating campaign and rewrites the artifact.
 //! * `cargo run -p xtask -- analyze` — the static-analysis gate:
 //!   delegates to `rtdvs-analyzer` (lexer, item/call graph, and the
 //!   determinism / panic-reachability / lock-order passes, configured by
@@ -96,6 +110,14 @@
 //!   tenant's per-period budget may change; writing it anywhere else
 //!   hands a tenant CPU time its quota never reserved and silently
 //!   breaks temporal isolation.
+//! - `seed-discipline` — `SplitMix64::seed_from_u64(<literal>)` in
+//!   non-test code. Every production stream must derive from a
+//!   caller-supplied root seed (`cfg.seed`, `plan.seed`, a saved
+//!   `state()` word) via `split`, so one seed replays the whole run and
+//!   toggling one consumer cannot shift another's sequence. A literal
+//!   seed buried mid-stack silently decouples that stream from the
+//!   experiment seed — exactly the bug the chaos campaign's
+//!   byte-identical-dimension property exists to rule out.
 //!
 //! Findings can be suppressed per file via `xtask/lint-allow.txt`
 //! (`<rule> <path>` lines); the file must stay empty for `crates/core`.
@@ -129,10 +151,13 @@ fn main() -> ExitCode {
         Some("regulator") => figures_gate("regulator", &args[1..]),
         Some("throughput") => figures_gate("throughput", &args[1..]),
         Some("tenants") => figures_gate("tenants", &args[1..]),
+        Some("campaign") => figures_gate("campaign", &args[1..]),
+        Some("repro") => figures_gate("repro", &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput|tenants>"
+                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput|tenants|\
+                 campaign|repro>"
             );
             ExitCode::from(2)
         }
@@ -150,7 +175,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` and `analyze` are
 /// the in-process passes (empty argv); everything else shells out to
 /// cargo so the stages are exactly what a contributor would type.
-const STAGES: [Stage; 14] = [
+const STAGES: [Stage; 15] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -273,6 +298,20 @@ const STAGES: [Stage; 14] = [
             "figures",
             "--",
             "tenants",
+        ],
+    },
+    Stage {
+        name: "campaign",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "campaign",
         ],
     },
 ];
@@ -781,8 +820,35 @@ fn scan_file(rel: &str, source: &str, sanitized: &[String], findings: &mut Vec<F
             });
         }
 
+        check_seed_discipline(rel, idx, line, findings);
+
         if line.contains("pub fn") && !line.contains("fn main") {
             check_must_use(rel, &lines, idx, findings);
+        }
+    }
+}
+
+/// Flags `SplitMix64::seed_from_u64(<literal>)` in non-test code: every
+/// production stream must derive from a caller-supplied root seed via
+/// `split`, so a single seed replays the whole run. (Test modules are
+/// already skipped by the `#[cfg(test)]` scanner state.)
+fn check_seed_discipline(rel: &str, idx: usize, line: &str, findings: &mut Vec<Finding>) {
+    const CALL: &str = "SplitMix64::seed_from_u64(";
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(CALL) {
+        let arg_at = from + pos + CALL.len();
+        from = arg_at;
+        let arg = line[arg_at..].trim_start();
+        if arg.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: idx + 1,
+                rule: "seed-discipline",
+                msg: "literal seed fed to SplitMix64::seed_from_u64; derive the stream from \
+                      the experiment's root seed (cfg.seed / plan.seed / a saved state() word) \
+                      via split so one seed replays the whole run"
+                    .to_owned(),
+            });
         }
     }
 }
@@ -1023,6 +1089,37 @@ mod tests {
         let findings = scan_source("crates/kernel/src/tenants.rs", src);
         assert!(
             findings.iter().all(|f| f.rule != "tenant-budget-mutation"),
+            "{findings:?}"
+        );
+    }
+
+    /// A literal seed in non-test code decouples that stream from the
+    /// experiment seed; a seed threaded from the caller is fine.
+    #[test]
+    fn literal_seeds_outside_tests_are_flagged() {
+        let src = "fn f() -> SplitMix64 {\n    SplitMix64::seed_from_u64(0x5eed)\n}\n";
+        let findings = scan_source("crates/bench/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "seed-discipline");
+        assert_eq!(findings[0].line, 2);
+
+        let threaded =
+            "fn f(seed: u64) -> SplitMix64 {\n    SplitMix64::seed_from_u64(seed).split(3)\n}\n";
+        let findings = scan_source("crates/bench/src/x.rs", threaded);
+        assert!(
+            findings.iter().all(|f| f.rule != "seed-discipline"),
+            "threaded seed flagged: {findings:?}"
+        );
+    }
+
+    /// Test modules may pin literal seeds — the cfg(test) skip covers
+    /// the rule like every other scanner.
+    #[test]
+    fn literal_seeds_in_test_modules_are_allowed() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn rng() -> SplitMix64 {\n        SplitMix64::seed_from_u64(42)\n    }\n}\n";
+        let findings = scan_source("crates/sim/src/x.rs", src);
+        assert!(
+            findings.iter().all(|f| f.rule != "seed-discipline"),
             "{findings:?}"
         );
     }
