@@ -8,7 +8,11 @@
 //! superset of the pre-crash one). The checks are pure log-consistency
 //! rules — they need no kernel instance, only the `(time, event)` pairs:
 //!
-//! - timestamps never go backwards,
+//! - timestamps never go backwards, and every clamped backward RTC jump
+//!   reports a positive attempted regression ([`Rule::ClockMonotonicity`]
+//!   — the time base's clamp must make regression unobservable),
+//! - clock-gated releases stay within the stalled-tick watchdog's
+//!   worst-case latency ([`Rule::ReleaseLatencyBound`]),
 //! - the mode epoch advances by exactly one per committed transaction
 //!   ([`Rule::EpochMonotonicity`]),
 //! - per task, invocation numbers are released in `+1` sequence and every
@@ -32,6 +36,14 @@ use rtdvs_core::time::Time;
 use rtdvs_kernel::{KernelEvent, TaskHandle};
 
 use crate::violation::{Rule, Violation};
+
+/// Worst acceptable release latency behind schedule, in milliseconds.
+/// The stalled-tick watchdog engages after
+/// [`rtdvs_kernel::WATCHDOG_GAP_TICKS`] silent ticks and synthesizes a
+/// delivery, so a gated release can trail its scheduled instant by at
+/// most that gap plus the catch-up cascade; twice the watchdog window is
+/// a safe ceiling at the 1ms nominal tick.
+const RELEASE_LATENCY_BOUND_MS: f64 = 16.0;
 
 /// Per-task bookkeeping while walking the log.
 #[derive(Default)]
@@ -99,7 +111,7 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
             flag(
                 &mut out,
                 time,
-                Rule::KernelLogConsistency,
+                Rule::ClockMonotonicity,
                 format!(
                     "timestamp went backwards: {:.3}ms after {:.3}ms",
                     time.as_ms(),
@@ -268,6 +280,51 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
                     }
                 }
             }
+            KernelEvent::ClockJumpClamped { attempted } => {
+                if attempted.as_ms() <= 0.0 {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::ClockMonotonicity,
+                        format!(
+                            "clamp recorded a non-positive backward jump \
+                             ({:.3}ms): nothing regressed, so nothing should \
+                             have been clamped",
+                            attempted.as_ms()
+                        ),
+                    );
+                }
+            }
+            KernelEvent::ReleaseLate {
+                handle,
+                invocation,
+                latency,
+            } => {
+                if latency.as_ms() <= 0.0 {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::ReleaseLatencyBound,
+                        format!(
+                            "{handle} invocation {invocation} reported a \
+                             non-positive release latency ({:.3}ms)",
+                            latency.as_ms()
+                        ),
+                    );
+                } else if latency.as_ms() > RELEASE_LATENCY_BOUND_MS {
+                    flag(
+                        &mut out,
+                        time,
+                        Rule::ReleaseLatencyBound,
+                        format!(
+                            "{handle} invocation {invocation} released \
+                             {:.3}ms behind schedule, past the \
+                             {RELEASE_LATENCY_BOUND_MS:.0}ms watchdog bound",
+                            latency.as_ms()
+                        ),
+                    );
+                }
+            }
             KernelEvent::PolicyLoaded { .. }
             | KernelEvent::Degraded { .. }
             | KernelEvent::ModeChangeStaged { .. }
@@ -276,6 +333,8 @@ pub fn audit_kernel_log(log: &[(Time, KernelEvent)]) -> Vec<Violation> {
             | KernelEvent::GovernorRelaxed
             | KernelEvent::LadderStepped { .. }
             | KernelEvent::SupervisorRestored
+            | KernelEvent::ClockTickGap { .. }
+            | KernelEvent::ClockWatchdog { .. }
             | KernelEvent::SnapshotTaken => {}
         }
     }
@@ -483,10 +542,82 @@ mod tests {
         let violations = audit_kernel_log(&log);
         assert!(violations
             .iter()
-            .any(|v| v.details.contains("timestamp went backwards")));
+            .any(|v| v.rule == Rule::ClockMonotonicity
+                && v.details.contains("timestamp went backwards")));
         assert!(violations
             .iter()
             .any(|v| v.details.contains("without a matching open release")));
+    }
+
+    #[test]
+    fn clock_events_audit_clean_and_degenerate_ones_are_flagged() {
+        let h = TaskHandle::from_raw(1);
+        let healthy = vec![
+            (
+                ms(0.0),
+                KernelEvent::Admitted {
+                    handle: h,
+                    deferred: false,
+                },
+            ),
+            (ms(3.0), KernelEvent::ClockTickGap { missed: 2 }),
+            (ms(3.0), KernelEvent::ClockWatchdog { engaged: true }),
+            (
+                ms(3.0),
+                KernelEvent::ClockJumpClamped { attempted: ms(1.5) },
+            ),
+            (
+                ms(3.0),
+                KernelEvent::Released {
+                    handle: h,
+                    invocation: 1,
+                },
+            ),
+            (
+                ms(3.0),
+                KernelEvent::ReleaseLate {
+                    handle: h,
+                    invocation: 1,
+                    latency: ms(3.0),
+                },
+            ),
+            (ms(4.0), KernelEvent::ClockWatchdog { engaged: false }),
+        ];
+        let violations = audit_kernel_log(&healthy);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let degenerate = vec![
+            (
+                ms(1.0),
+                KernelEvent::ClockJumpClamped { attempted: ms(0.0) },
+            ),
+            (
+                ms(2.0),
+                KernelEvent::ReleaseLate {
+                    handle: h,
+                    invocation: 1,
+                    latency: ms(40.0),
+                },
+            ),
+            (
+                ms(3.0),
+                KernelEvent::ReleaseLate {
+                    handle: h,
+                    invocation: 2,
+                    latency: ms(-1.0),
+                },
+            ),
+        ];
+        let violations = audit_kernel_log(&degenerate);
+        assert!(violations.iter().any(|v| v.rule == Rule::ClockMonotonicity
+            && v.details.contains("non-positive backward jump")));
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == Rule::ReleaseLatencyBound && v.details.contains("behind schedule")));
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == Rule::ReleaseLatencyBound
+                && v.details.contains("non-positive release latency")));
     }
 
     #[test]

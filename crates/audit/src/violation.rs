@@ -70,6 +70,13 @@ pub enum Rule {
     /// The run's availability (fraction of the horizon at the preferred
     /// policy with no task shed) fell below the campaign's declared floor.
     AvailabilityFloor,
+    /// Kernel time moved backwards: a log timestamp regressed, or the
+    /// time base reported clamping a non-positive backward jump. The
+    /// monotonicity clamp must make both impossible.
+    ClockMonotonicity,
+    /// A clock-gated release fired later than the stalled-tick watchdog's
+    /// worst-case bound allows (or reported a non-positive latency).
+    ReleaseLatencyBound,
 }
 
 impl Rule {
@@ -95,6 +102,8 @@ impl Rule {
             Rule::TenantIsolation => "tenant-isolation",
             Rule::RecoveryBound => "recovery-bound",
             Rule::AvailabilityFloor => "availability-floor",
+            Rule::ClockMonotonicity => "clock-monotonicity",
+            Rule::ReleaseLatencyBound => "release-latency-bound",
         }
     }
 
@@ -120,6 +129,9 @@ impl Rule {
             Rule::TenantIsolation => "multi-tenant serving (quota isolation)",
             Rule::RecoveryBound | Rule::AvailabilityFloor => {
                 "chaos campaign (availability accounting)"
+            }
+            Rule::ClockMonotonicity | Rule::ReleaseLatencyBound => {
+                "time-base hardening (clock faults & tick-gap recovery)"
             }
         }
     }
@@ -193,6 +205,8 @@ mod tests {
             Rule::TenantIsolation,
             Rule::RecoveryBound,
             Rule::AvailabilityFloor,
+            Rule::ClockMonotonicity,
+            Rule::ReleaseLatencyBound,
         ] {
             assert!(!rule.as_str().is_empty());
             assert!(!rule.paper_section().is_empty());

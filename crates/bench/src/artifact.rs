@@ -41,7 +41,13 @@
 //! `"regulator-soak"`) follow suit: `u` is the regulator adversity rate,
 //! `energy_norm` is against the regulator-free baseline, `deadline_miss`
 //! carries policy-blamed misses plus non-miss audit findings, and
-//! `fault_miss` the excused misses (see `crate::regulator`).
+//! `fault_miss` the excused misses (see `crate::regulator`). Clock-soak
+//! artifacts (grid label `"clock-soak"`) are the same shape one layer
+//! deeper still: `u` is the clock adversity rate (drift/tick-loss/
+//! coalescing/backward-jump probabilities), `energy_norm` is against the
+//! clean-clock baseline, `deadline_miss` carries policy-blamed misses
+//! plus non-miss audit findings, and `fault_miss` the clock-excused
+//! misses (see `crate::clock`).
 //!
 //! The reader is deliberately forward-compatible: it looks fields up by
 //! name and ignores object keys it does not know, so an artifact written
@@ -317,7 +323,7 @@ impl BenchArtifact {
     pub fn validate(&self) -> Vec<String> {
         let chaos = matches!(
             self.grid.label.as_str(),
-            "chaos-soak" | "mode-churn" | "regulator-soak"
+            "chaos-soak" | "mode-churn" | "regulator-soak" | "clock-soak"
         );
         let mut problems = Vec::new();
         let expected_series = self.grid.policies.len() * self.grid.n_tasks.len();
@@ -887,6 +893,20 @@ mod tests {
         assert_ne!(text, art.to_json(), "replacements must have applied");
         let parsed = BenchArtifact::from_json(&text).expect("tolerant parse");
         assert_eq!(parsed, art);
+    }
+
+    #[test]
+    fn clock_soak_label_normalizes_per_policy() {
+        // The clock soak normalizes each policy against its own
+        // clean-clock baseline, so EDF ≠ 1 is legitimate there while the
+        // guaranteed-policy miss check still bites.
+        let mut art = sample();
+        art.grid.label = "clock-soak".to_owned();
+        art.series[0].points[1].energy_norm = 1.02;
+        art.series[0].points[1].fault_miss = 5;
+        assert!(art.validate().is_empty(), "{:?}", art.validate());
+        art.series[1].points[0].deadline_miss = 1;
+        assert_eq!(art.validate().len(), 1);
     }
 
     #[test]

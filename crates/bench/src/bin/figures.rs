@@ -44,6 +44,16 @@
 //!     This is what `xtask regulator` and the CI regulator-smoke stage
 //!     run.
 //!
+//! figures clock [--tolerance FRACTION] [--golden-dir DIR] [--seed S] [--write]
+//!     Re-run the clock-fault soak smoke grid (oscillator drift, lost
+//!     and coalesced ticks, bounded backward RTC jumps across all six
+//!     policies), assert that no miss is ever policy-blamed and that
+//!     the rate-0 column normalizes to exactly 1 (the inactive clock
+//!     plan is provably free), diff the result against the committed
+//!     BENCH_clock.json, and validate its structure. `--write`
+//!     regenerates the golden instead. This is what `xtask clock` and
+//!     the CI clock-smoke stage run.
+//!
 //! figures tenants [--golden-dir DIR] [--seed S] [--write]
 //!     Re-run the multi-tenant serving soak (one tenant flooding at 10x
 //!     its quota beside five compliant tenants and the relaxed Table 2
@@ -93,6 +103,7 @@ use rtdvs_bench::campaign::{
     shrink_plan, CampaignArtifact, ReproArtifact,
 };
 use rtdvs_bench::chaos::{chaos_smoke_config, run_chaos};
+use rtdvs_bench::clock::{clock_smoke_config, run_clock};
 use rtdvs_bench::figures::{
     paper_figures, paper_figures_artifact, smoke_sweep_artifact, PaperFigure, Scale,
 };
@@ -114,6 +125,7 @@ const SWEEP_FILE: &str = "BENCH_sweep.json";
 const FAULTS_FILE: &str = "BENCH_faults.json";
 const MODES_FILE: &str = "BENCH_modes.json";
 const REGULATOR_FILE: &str = "BENCH_regulator.json";
+const CLOCK_FILE: &str = "BENCH_clock.json";
 const THROUGHPUT_FILE: &str = "BENCH_throughput.json";
 const TENANTS_FILE: &str = "BENCH_tenants.json";
 const CAMPAIGN_FILE: &str = "BENCH_campaign.json";
@@ -151,8 +163,8 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "throughput"
-            | "tenants" | "campaign" | "repro" => {
+            "run" | "check" | "bench" | "chaos" | "modes" | "regulator" | "clock"
+            | "throughput" | "tenants" | "campaign" | "repro" => {
                 args.command = a;
             }
             "--quick" => args.quick = true,
@@ -199,7 +211,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: figures [run|check|bench|chaos|modes|regulator|throughput|tenants|campaign|repro] \
+    "usage: figures [run|check|bench|chaos|modes|regulator|clock|throughput|tenants|campaign|repro] \
      [--quick] [--threads N] \
      [--threads-list 1,2,4] [--seed S] [--out DIR] [--golden-dir DIR] [--tolerance FRACTION] \
      [--write] [FILE (repro only)]"
@@ -547,6 +559,95 @@ fn regulator(args: &Args) -> Result<(), String> {
         fresh.grid.policies.len(),
         fresh.grid.utilizations.len(),
         REGULATOR_FILE,
+        100.0 * args.tolerance,
+        excused_misses,
+        fresh.wall_ms
+    );
+    Ok(())
+}
+
+/// Shared invariants of a fresh clock-soak grid: no policy-blamed
+/// miss anywhere, and the rate-0 column bitwise 1 (the inactive clock
+/// plan draws nothing, so it must be byte-identical to no plan at all).
+fn clock_invariants(fresh: &BenchArtifact) -> Result<u64, String> {
+    let mut excused_misses = 0u64;
+    for series in &fresh.series {
+        for p in &series.points {
+            if p.deadline_miss != 0 {
+                return Err(format!(
+                    "clock: {} blamed for {} miss(es) at fault rate {} — \
+                     a policy-blamed miss under clock faults is a time-base bug",
+                    series.policy, p.deadline_miss, p.u
+                ));
+            }
+            if p.u.to_bits() == 0.0_f64.to_bits() && p.energy_norm.to_bits() != 1.0_f64.to_bits() {
+                return Err(format!(
+                    "clock: {} normalizes to {} at rate 0 — the inactive clock \
+                     plan must be byte-identical to no plan at all",
+                    series.policy, p.energy_norm
+                ));
+            }
+            excused_misses += p.fault_miss;
+        }
+    }
+    Ok(excused_misses)
+}
+
+fn clock(args: &Args) -> Result<(), String> {
+    let dir = args.golden_dir.clone().unwrap_or_else(repo_root);
+    let path = dir.join(CLOCK_FILE);
+
+    if args.write {
+        let art = run_clock(&clock_smoke_config(args.seed));
+        clock_invariants(&art)?;
+        let structural = art.validate();
+        if !structural.is_empty() {
+            for p in &structural {
+                eprintln!("clock: {p}");
+            }
+            return Err(format!("{} structural problem(s)", structural.len()));
+        }
+        std::fs::write(&path, art.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        return Ok(());
+    }
+
+    let golden = load_golden(&dir, CLOCK_FILE)?;
+    let fresh = run_clock(&clock_smoke_config(golden.seed));
+
+    // 1. No miss is ever policy-blamed, and the rate-0 column normalizes
+    //    to exactly 1: the inactive clock plan is provably free.
+    let excused_misses = clock_invariants(&fresh)?;
+
+    // 2. The fresh soak reproduces the committed golden.
+    let problems = compare(&golden, &fresh, args.tolerance);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("clock: {p}");
+        }
+        return Err(format!(
+            "{} divergence(s) from {CLOCK_FILE}; if the time-base model \
+             intentionally changed, regenerate with `figures clock --write` and commit",
+            problems.len()
+        ));
+    }
+
+    // 3. Structural invariants of the artifact itself.
+    let structural = fresh.validate();
+    if !structural.is_empty() {
+        for p in &structural {
+            eprintln!("clock: {CLOCK_FILE}: {p}");
+        }
+        return Err(format!("{} structural problem(s)", structural.len()));
+    }
+
+    println!(
+        "clock: {} policies x {} fault rates reproduce {} within ±{:.1}% \
+         ({} excused misses, 0 policy-blamed, inactive plan bit-exact, {} ms)",
+        fresh.grid.policies.len(),
+        fresh.grid.utilizations.len(),
+        CLOCK_FILE,
         100.0 * args.tolerance,
         excused_misses,
         fresh.wall_ms
@@ -975,6 +1076,7 @@ fn main() -> ExitCode {
         "chaos" => chaos(&args),
         "modes" => modes(&args),
         "regulator" => regulator(&args),
+        "clock" => clock(&args),
         "throughput" => throughput(&args),
         "tenants" => tenants(&args),
         "campaign" => campaign(&args),

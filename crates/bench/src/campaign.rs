@@ -5,8 +5,9 @@
 //! The earlier soaks each stress one layer in isolation — WCET overruns
 //! (`crate::tenants`), regulator failures plus brownouts
 //! (`crate::regulator`), transactional mode churn (`crate::modes`),
-//! crash/restore (`tests/recovery.rs`), and a flooding tenant
-//! (`crate::tenants`). The campaign turns them into *dimensions* of one
+//! crash/restore (`tests/recovery.rs`), a flooding tenant
+//! (`crate::tenants`), and clock/timer faults (`crate::clock`). The
+//! campaign turns them into *dimensions* of one
 //! [`ChaosPlan`] and runs all of them against the same kernel at once:
 //! the relaxed Table 2 hard-RT set plus a two-lane tenant server on the
 //! K6-2+ prototype machine, under phased adversity windows.
@@ -57,6 +58,7 @@ use rtdvs_platform::{PowerNowCpu, UnreliableRegulator};
 use rtdvs_taskgen::{OpenLoopGen, OpenLoopSpec, Request, SplitMix64};
 
 use crate::artifact::{fmt_f64, ArtifactError, Json};
+use crate::clock::clock_plan;
 use crate::regulator::regulator_plan;
 use crate::tenants::RELAXED_TABLE2;
 
@@ -75,6 +77,7 @@ const STREAM_REGULATOR: u64 = 0x0C_0002;
 const STREAM_KILLS: u64 = 0x0C_0003;
 const STREAM_CHURN: u64 = 0x0C_0004;
 const STREAM_FLOOD: u64 = 0x0C_0005;
+const STREAM_CLOCK: u64 = 0x0C_0006;
 
 /// Drive-loop slot: the tenant server period and the cadence at which
 /// generators are drained into it.
@@ -222,6 +225,18 @@ pub struct FloodDim {
     pub window: Window,
 }
 
+/// Clock-fault dimension: a seeded [`rtdvs_sim::ClockPlan`] at `rate`
+/// (drift retargets at the rate; tick loss and coalescing at half,
+/// backward jumps at a quarter — the same scaling as
+/// [`crate::clock::clock_plan`]), acting only inside the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDim {
+    /// Clock adversity rate (per-tick drift-retarget probability).
+    pub rate: f64,
+    /// When clock faults may fire.
+    pub window: Window,
+}
+
 /// One composed chaos campaign: every fault dimension the repo knows,
 /// derived from a single root seed.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +255,8 @@ pub struct ChaosPlan {
     pub mode_churn: ChurnDim,
     /// Flooding tenant.
     pub flood: FloodDim,
+    /// Seeded clock/timer faults.
+    pub clock: ClockDim,
 }
 
 impl ChaosPlan {
@@ -262,6 +279,9 @@ impl ChaosPlan {
         }
         if self.flood.rate > 0.0 && self.flood.window.overlaps(self.horizon_ms) {
             active.push("flood");
+        }
+        if self.clock.rate > 0.0 && self.clock.window.overlaps(self.horizon_ms) {
+            active.push("clock");
         }
         active
     }
@@ -305,6 +325,7 @@ impl ChaosPlan {
                 self.mode_churn.window,
             ),
             ("flood", self.flood.rate, None, self.flood.window),
+            ("clock", self.clock.rate, None, self.clock.window),
         ];
         for (i, (name, rate, factor, window)) in dims.iter().enumerate() {
             let _ = write!(
@@ -348,6 +369,19 @@ impl ChaosPlan {
         let kills = value.get("kills")?;
         let mode_churn = value.get("mode_churn")?;
         let flood = value.get("flood")?;
+        // Plans serialized before the clock dimension existed omit the
+        // key; read them as "clock faults off" so old repros stay
+        // replayable.
+        let clock = match value.get("clock") {
+            Ok(dim) => ClockDim {
+                rate: bits_field(dim, "rate_bits")?,
+                window: window(dim)?,
+            },
+            Err(_) => ClockDim {
+                rate: 0.0,
+                window: Window::full(),
+            },
+        };
         Ok(ChaosPlan {
             seed: value.get("seed")?.as_u64()?,
             horizon_ms: bits_field(value, "horizon_bits")?,
@@ -372,6 +406,7 @@ impl ChaosPlan {
                 rate: bits_field(flood, "rate_bits")?,
                 window: window(flood)?,
             },
+            clock,
         })
     }
 }
@@ -423,6 +458,9 @@ pub struct CampaignSchedules {
     pub churns: Vec<Time>,
     /// Seed of the flooding tenant's open-loop generator.
     pub flood_gen_seed: u64,
+    /// Seed of the clock-fault oracle's plan (the oracle draws its own
+    /// per-dimension streams from this at run time).
+    pub clock_seed: u64,
 }
 
 /// Derives every schedule from the plan's root seed. Pure: two calls
@@ -465,6 +503,7 @@ pub fn materialize(plan: &ChaosPlan) -> CampaignSchedules {
     );
 
     let flood_gen_seed = root.split(STREAM_FLOOD).state();
+    let clock_seed = root.split(STREAM_CLOCK).state();
     CampaignSchedules {
         body_streams,
         compliant_gen_seed,
@@ -473,6 +512,7 @@ pub fn materialize(plan: &ChaosPlan) -> CampaignSchedules {
         kills,
         churns,
         flood_gen_seed,
+        clock_seed,
     }
 }
 
@@ -580,6 +620,7 @@ struct CellRun {
     findings: Vec<Violation>,
     kills: u64,
     churn_commits: u64,
+    clock_events: u64,
     compliant_offered: u64,
     flood_offered: u64,
     served: u64,
@@ -618,13 +659,23 @@ fn flood_spec(rate: f64) -> OpenLoopSpec {
     }
 }
 
-fn attach_adversity(kernel: &mut RtKernel, plan: &ChaosPlan, regulator_seed: u64) {
+fn attach_adversity(kernel: &mut RtKernel, plan: &ChaosPlan, sched: &CampaignSchedules) {
     if plan.regulator.rate > 0.0 {
         let cpu = PowerNowCpu::k6_2_plus_550();
         kernel.attach_regulator(Box::new(UnreliableRegulator::new(
             cpu,
-            regulator_plan(regulator_seed, plan.regulator.rate),
+            regulator_plan(sched.regulator_seed, plan.regulator.rate),
         )));
+    }
+    if plan.clock.rate > 0.0 && plan.clock.window.overlaps(plan.horizon_ms) {
+        let mut p = clock_plan(sched.clock_seed, plan.clock.rate);
+        if plan.clock.window.start_ms > 0.0 || plan.clock.window.end_ms.is_finite() {
+            p = p.with_window(
+                Time::from_ms(plan.clock.window.start_ms.max(0.0)),
+                Time::from_ms(plan.clock.window.end_ms),
+            );
+        }
+        kernel.set_clock_plan(p);
     }
 }
 
@@ -642,7 +693,7 @@ fn run_cell(
     let machine = cpu.machine().expect("prototype machine is valid");
     let mut kernel =
         RtKernel::new(machine, kind).with_accounted_switch_overhead(cpu.switch_overhead());
-    attach_adversity(&mut kernel, plan, sched.regulator_seed);
+    attach_adversity(&mut kernel, plan, sched);
 
     let faults_on = plan.faults.rate > 0.0 && plan.faults.window.overlaps(plan.horizon_ms);
     let (rate, factor) = if faults_on {
@@ -811,7 +862,7 @@ fn run_cell(
                         .expect("campaign snapshots restore cleanly");
                     kernel = revived;
                     kernel.mark_restored();
-                    attach_adversity(&mut kernel, plan, sched.regulator_seed);
+                    attach_adversity(&mut kernel, plan, sched);
                     server = kernel.tenant_servers()[0].1.clone();
                     kills_applied += 1;
                 }
@@ -826,12 +877,14 @@ fn run_cell(
         }
     }
 
-    // Blame classification: once any hardware adversity, restore, or
-    // injected overrun is in the log, the admission premises are void and
-    // later misses are excused; a miss before all of that is a policy bug.
+    // Blame classification: once any hardware adversity, restore, clock
+    // fault, or injected overrun is in the log, the admission premises
+    // are void and later misses are excused; a miss before all of that
+    // is a policy bug.
     let mut adversity_acted = false;
     let mut blamed = 0u64;
     let mut excused = 0u64;
+    let mut clock_events = 0u64;
     for (_, event) in kernel.log() {
         match event {
             KernelEvent::RegulatorFallback { .. }
@@ -839,6 +892,13 @@ fn run_cell(
             | KernelEvent::LadderStepped { .. }
             | KernelEvent::SupervisorRestored
             | KernelEvent::Overrun { .. } => adversity_acted = true,
+            KernelEvent::ClockTickGap { .. }
+            | KernelEvent::ClockJumpClamped { .. }
+            | KernelEvent::ClockWatchdog { .. }
+            | KernelEvent::ReleaseLate { .. } => {
+                adversity_acted = true;
+                clock_events += 1;
+            }
             KernelEvent::DeadlineMiss { .. } => {
                 if adversity_acted {
                     excused += 1;
@@ -891,6 +951,7 @@ fn run_cell(
         findings,
         kills: kills_applied,
         churn_commits,
+        clock_events,
         compliant_offered,
         flood_offered,
         served,
@@ -946,6 +1007,10 @@ pub fn campaign_smoke_config(seed: u64) -> CampaignConfig {
                 rate: 1.0,
                 window: Window::span(1000.0, 2000.0),
             },
+            clock: ClockDim {
+                rate: 0.25,
+                window: Window::span(250.0, 2750.0),
+            },
         },
         availability: AvailabilityPolicy {
             max_recovery_ms: 150.0,
@@ -973,6 +1038,9 @@ pub struct CampaignCell {
     pub restores: u64,
     /// Committed churn transactions.
     pub churn_commits: u64,
+    /// Clock-fault events in the final log (tick gaps, clamped jumps,
+    /// watchdog actions, late releases).
+    pub clock_events: u64,
     /// Compliant-lane requests offered.
     pub compliant_offered: u64,
     /// Flood-lane requests offered (inside the flood window).
@@ -1055,7 +1123,8 @@ impl CampaignArtifact {
                 s,
                 "    {{\"policy\": \"{}\", \"blamed_misses\": {}, \"excused_misses\": {}, \
                  \"audit_findings\": {}, \"kills\": {}, \"restores\": {}, \
-                 \"churn_commits\": {}, \"compliant_offered\": {}, \"flood_offered\": {}, \
+                 \"churn_commits\": {}, \"clock_events\": {}, \"compliant_offered\": {}, \
+                 \"flood_offered\": {}, \
                  \"served\": {}, \"energy\": {}, \"availability\": {}, \"nominal_ms\": {}, \
                  \"degraded_ms\": {}, \"mttf_ms\": {}, \"mttr_ms\": {}, \
                  \"worst_recovery_ms\": {}, \"rung_ms\": [{}]}}{}",
@@ -1066,6 +1135,7 @@ impl CampaignArtifact {
                 c.kills,
                 c.restores,
                 c.churn_commits,
+                c.clock_events,
                 c.compliant_offered,
                 c.flood_offered,
                 c.served,
@@ -1123,6 +1193,7 @@ impl CampaignArtifact {
                     kills: c.get("kills")?.as_u64()?,
                     restores: c.get("restores")?.as_u64()?,
                     churn_commits: c.get("churn_commits")?.as_u64()?,
+                    clock_events: c.get("clock_events").map_or(Ok(0), |v| v.as_u64())?,
                     compliant_offered: c.get("compliant_offered")?.as_u64()?,
                     flood_offered: c.get("flood_offered")?.as_u64()?,
                     served: c.get("served")?.as_u64()?,
@@ -1164,6 +1235,7 @@ impl CampaignArtifact {
         let kills_on = self.dimensions.iter().any(|d| d == "kills");
         let flood_on = self.dimensions.iter().any(|d| d == "flood");
         let churn_on = self.dimensions.iter().any(|d| d == "mode_churn");
+        let clock_on = self.dimensions.iter().any(|d| d == "clock");
         for c in &self.cells {
             let who = &c.policy;
             if c.blamed_misses != 0 {
@@ -1196,6 +1268,11 @@ impl CampaignArtifact {
             if churn_on && c.churn_commits == 0 {
                 problems.push(format!(
                     "{who}: churn dimension active but nothing committed"
+                ));
+            }
+            if clock_on && c.clock_events == 0 {
+                problems.push(format!(
+                    "{who}: clock dimension active but no clock event ever fired"
                 ));
             }
             if c.compliant_offered == 0 || c.served == 0 {
@@ -1284,6 +1361,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignArtifact {
                 kills: run.kills,
                 restores: run.stats.outages,
                 churn_commits: run.churn_commits,
+                clock_events: run.clock_events,
                 compliant_offered: run.compliant_offered,
                 flood_offered: run.flood_offered,
                 served: run.served,
@@ -1436,13 +1514,17 @@ pub fn cell_findings(
     run_cell(kind, plan, &sched, avail).findings
 }
 
+/// Number of shrinkable dimensions in a [`ChaosPlan`].
+const N_DIMS: usize = 6;
+
 fn dim_rate(plan: &ChaosPlan, d: usize) -> f64 {
     match d {
         0 => plan.faults.rate,
         1 => plan.regulator.rate,
         2 => plan.kills.rate,
         3 => plan.mode_churn.rate,
-        _ => plan.flood.rate,
+        4 => plan.flood.rate,
+        _ => plan.clock.rate,
     }
 }
 
@@ -1452,7 +1534,8 @@ fn set_dim_rate(plan: &mut ChaosPlan, d: usize, rate: f64) {
         1 => plan.regulator.rate = rate,
         2 => plan.kills.rate = rate,
         3 => plan.mode_churn.rate = rate,
-        _ => plan.flood.rate = rate,
+        4 => plan.flood.rate = rate,
+        _ => plan.clock.rate = rate,
     }
 }
 
@@ -1463,6 +1546,7 @@ fn clip_windows(plan: &mut ChaosPlan) {
         &mut plan.kills.window,
         &mut plan.mode_churn.window,
         &mut plan.flood.window,
+        &mut plan.clock.window,
     ] {
         w.end_ms = w.end_ms.min(plan.horizon_ms);
     }
@@ -1498,7 +1582,7 @@ pub fn shrink_plan(
     // Phase 1: disable whole dimensions, to a fixpoint.
     loop {
         let mut changed = false;
-        for d in 0..5 {
+        for d in 0..N_DIMS {
             if dim_rate(&cur, d) <= 0.0 {
                 continue;
             }
@@ -1525,7 +1609,7 @@ pub fn shrink_plan(
         }
     }
     // Phase 3: attenuate the surviving rates.
-    for d in 0..5 {
+    for d in 0..N_DIMS {
         for _ in 0..MAX_RATE_HALVINGS {
             let rate = dim_rate(&cur, d);
             if rate <= 0.0 {
@@ -1636,6 +1720,10 @@ pub fn known_violating_campaign(seed: u64) -> (PolicyKind, ChaosPlan, Availabili
                 rate: 1.0,
                 window: Window::span(1000.0, 3000.0),
             },
+            clock: ClockDim {
+                rate: 0.0,
+                window: Window::full(),
+            },
         },
         AvailabilityPolicy {
             max_recovery_ms: 200.0,
@@ -1683,6 +1771,8 @@ mod tests {
         assert!(sched.kills.is_empty());
         assert!(sched.churns.is_empty());
         assert!(sched.brownouts.is_empty());
+        assert!(p.active_dimensions() == vec!["faults", "flood", "clock"]);
+        p.clock.rate = 0.0;
         assert!(p.active_dimensions() == vec!["faults", "flood"]);
     }
 
@@ -1741,6 +1831,7 @@ mod tests {
                 kills: 2,
                 restores: 2,
                 churn_commits: 0,
+                clock_events: 0,
                 compliant_offered: 700,
                 flood_offered: 900,
                 served: 1500,

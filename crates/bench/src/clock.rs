@@ -1,0 +1,358 @@
+//! Clock-fault soak: seeded timer adversity with blame accounting.
+//!
+//! The chaos soak attacks the simulator's hardware line, the regulator
+//! soak the voltage regulator; this soak goes after the layer everything
+//! else stands on: the tick source itself. It drives every policy over
+//! the relaxed Table 2 set on the K6-2+ machine while a seeded
+//! [`ClockPlan`] makes the oscillator drift, loses ticks, coalesces them
+//! into bursts, and attempts bounded backward RTC jumps. The kernel's
+//! time-base hardening must absorb all of it: the monotonicity clamp, the
+//! EWMA drift estimator feeding safety margins into slack and admission,
+//! the timing wheel's catch-up cascade after tick gaps, and the
+//! stalled-tick watchdog's f_max fail-safe.
+//!
+//! The output reuses the `rtdvs-bench/v1` artifact with the axes
+//! reinterpreted (grid label `"clock-soak"`): `u` is the clock adversity
+//! rate (the per-tick drift-retarget probability; tick loss and
+//! coalescing ride along at half the rate and backward jumps at a
+//! quarter), `energy_norm` is energy relative to the same policy's
+//! clean-clock run at the same seeds, `deadline_miss` counts
+//! **policy-blamed** misses — misses with no clock event anywhere before
+//! them in the log — plus kernel-log audit findings other than the misses
+//! themselves (a non-monotonic timestamp or an out-of-bound release
+//! latency is a time-base bug wherever it appears), and `fault_miss`
+//! counts the clock-excused misses.
+//!
+//! At rate 0 the plan's builders install nothing, so the plan is exactly
+//! [`ClockPlan::none`], the kernel attaches no clock driver, and the run
+//! must be **byte-identical** to the clean baseline — the inactive plan
+//! performs zero draws and gates nothing. The rate-0 column normalizing
+//! to exactly 1.0 bitwise is the committed proof of that zero-cost claim.
+
+use std::time::Instant;
+
+use rtdvs_audit::{audit_kernel_log, Rule};
+use rtdvs_core::policy::PolicyKind;
+use rtdvs_core::time::{Time, Work};
+use rtdvs_kernel::{KernelEvent, RtKernel, UniformBody};
+use rtdvs_platform::PowerNowCpu;
+use rtdvs_sim::ClockPlan;
+use rtdvs_taskgen::SplitMix64;
+
+use crate::artifact::{BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
+
+/// The grid label that switches the artifact validator into per-policy
+/// normalization mode (see [`BenchArtifact::validate`]).
+pub const CLOCK_LABEL: &str = "clock-soak";
+
+/// The drift cap handed to the plan, in parts per million. 400ppm is an
+/// order of magnitude past a bad crystal — enough to make the estimator's
+/// margins matter without dwarfing the tick itself.
+const DRIFT_MAX_PPM: f64 = 400.0;
+
+/// Largest coalesced burst the plan may defer before it must deliver.
+const COALESCE_BURST: u32 = 4;
+
+/// Largest backward RTC jump the plan may attempt, milliseconds.
+const JUMP_MAX_MS: f64 = 2.0;
+
+/// The soaked task set, `(period_ms, wcet_ms)`: the same relaxed Table 2
+/// as the regulator soak. The ≈0.49 utilization leaves enough slack that
+/// a release trailing a closed tick gap can still meet its deadline, so
+/// any policy-blamed miss in the grid is a genuine time-base bug.
+const RELAXED_TABLE2: [(f64, f64); 3] = [(16.0, 3.0), (20.0, 3.0), (28.0, 1.0)];
+
+/// Configuration for one clock soak.
+#[derive(Debug, Clone)]
+pub struct ClockConfig {
+    /// Policies to soak, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// Adversity rates (x axis): per-tick drift-retarget probability;
+    /// the other fault dimensions scale off it (see [`clock_plan`]).
+    /// `0.0` means a clean clock.
+    pub adversity_rates: Vec<f64>,
+    /// Independent seed sets averaged per rate.
+    pub sets_per_rate: usize,
+    /// Simulated horizon per run.
+    pub duration: Time,
+    /// Base RNG seed every per-cell stream derives from.
+    pub seed: u64,
+}
+
+/// The grid behind `BENCH_clock.json` and the CI clock-smoke stage:
+/// adversity rates 0–50% across all six paper policies, three seed sets
+/// per rate, on the K6-2+ prototype machine. Small enough to re-run on
+/// every push.
+#[must_use]
+pub fn clock_smoke_config(seed: u64) -> ClockConfig {
+    ClockConfig {
+        policies: PolicyKind::paper_six().to_vec(),
+        adversity_rates: vec![0.0, 0.05, 0.2, 0.5],
+        sets_per_rate: 3,
+        duration: Time::from_ms(600.0),
+        seed,
+    }
+}
+
+/// The clock-fault plan injected at `rate`, seeded from the cell's
+/// stream. Drift retargeting is the headline fault (rate as given); tick
+/// loss and coalescing ride along at half the rate, backward jumps at a
+/// quarter. At rate 0 the builders install nothing, so the plan is
+/// exactly [`ClockPlan::none`] and the kernel attaches no driver.
+#[must_use]
+pub fn clock_plan(seed: u64, rate: f64) -> ClockPlan {
+    ClockPlan::new(seed)
+        .with_drift(rate, DRIFT_MAX_PPM)
+        .with_tick_loss(rate * 0.5)
+        .with_coalescing(rate * 0.5, COALESCE_BURST)
+        .with_backward_jumps(rate * 0.25, JUMP_MAX_MS)
+}
+
+/// One policy's tallies at one adversity rate.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateCell {
+    /// Energy with the faulty clock attached, summed over sets.
+    energy: f64,
+    /// Energy of the clean-clock run at the same seeds.
+    baseline: f64,
+    /// Misses with no excusing clock event before them, plus non-miss
+    /// audit findings: either is a time-base bug.
+    policy_blamed: u64,
+    /// Misses preceded by a clock event — the oscillator's fault, not
+    /// the policy's.
+    excused: u64,
+}
+
+/// One kernel run's outcome.
+struct CellRun {
+    energy: f64,
+    policy_blamed: u64,
+    excused: u64,
+}
+
+/// Splits a finished kernel's misses into policy-blamed and excused, in
+/// log order: once any tick-gap recovery, clamped jump, watchdog action,
+/// or late release has been logged, the admission test's premises are
+/// void and subsequent misses are the clock's fault. Non-miss audit
+/// findings are folded into the policy-blamed count — a non-monotonic
+/// timestamp or an out-of-bound release latency is a time-base bug
+/// wherever it appears.
+fn blame(kernel: &RtKernel) -> (u64, u64) {
+    let mut clock_acted = false;
+    let mut policy_blamed = 0u64;
+    let mut excused = 0u64;
+    for (_, event) in kernel.log() {
+        match event {
+            KernelEvent::ClockTickGap { .. }
+            | KernelEvent::ClockJumpClamped { .. }
+            | KernelEvent::ClockWatchdog { .. }
+            | KernelEvent::ReleaseLate { .. } => clock_acted = true,
+            KernelEvent::DeadlineMiss { .. } => {
+                if clock_acted {
+                    excused += 1;
+                } else {
+                    policy_blamed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let findings = audit_kernel_log(kernel.log())
+        .iter()
+        .filter(|v| v.rule != Rule::DeadlineMiss)
+        .count() as u64;
+    (policy_blamed + findings, excused)
+}
+
+/// Runs one kernel to `duration` on the K6-2+ machine. `plan` attaches
+/// the faulty clock ([`ClockPlan::none`] is the baseline — an inactive
+/// plan installs no driver at all).
+fn run_cell(kind: PolicyKind, duration: Time, body_seed: u64, plan: ClockPlan) -> CellRun {
+    let cpu = PowerNowCpu::k6_2_plus_550();
+    let machine = cpu.machine().expect("prototype machine is valid");
+    let mut bodies = SplitMix64::seed_from_u64(body_seed);
+    let mut kernel =
+        RtKernel::new(machine, kind).with_accounted_switch_overhead(cpu.switch_overhead());
+    kernel.set_clock_plan(plan);
+    for (period, wcet) in RELAXED_TABLE2 {
+        kernel
+            .spawn(
+                Time::from_ms(period),
+                Work::from_ms(wcet),
+                Box::new(UniformBody::new(bodies.next_u64())),
+            )
+            .expect("the relaxed Table 2 set is admitted by every paper policy");
+    }
+    kernel.run_for(duration);
+    let (policy_blamed, excused) = blame(&kernel);
+    CellRun {
+        energy: kernel.energy(),
+        policy_blamed,
+        excused,
+    }
+}
+
+/// Runs the clock soak and packs it into a `"clock-soak"` artifact.
+///
+/// Deterministic in `cfg` alone: each `(rate, set)` cell derives its body
+/// seed and clock seed from
+/// `SplitMix64::seed_from_u64(cfg.seed).split(cell_id)` — the same
+/// per-cell stream discipline as the other soaks — and the clock seed is
+/// shared across the cell's policies so every column faces the identical
+/// fault timeline. Only `wall_ms` varies between runs.
+///
+/// # Panics
+///
+/// Panics if the grid is empty, a rate is outside `[0, 1]`, or the
+/// relaxed Table 2 set is rejected by a policy (it is admissible by
+/// construction, so a rejection is an admission-test bug).
+#[must_use]
+pub fn run_clock(cfg: &ClockConfig) -> BenchArtifact {
+    assert!(
+        !cfg.adversity_rates.is_empty() && cfg.sets_per_rate > 0 && !cfg.policies.is_empty(),
+        "clock grid must be non-empty"
+    );
+    assert!(
+        cfg.adversity_rates.iter().all(|r| (0.0..=1.0).contains(r)),
+        "adversity rates are probabilities"
+    );
+    let start = Instant::now();
+    let n_pol = cfg.policies.len();
+    let mut cells = vec![RateCell::default(); cfg.adversity_rates.len() * n_pol];
+
+    for (ri, &rate) in cfg.adversity_rates.iter().enumerate() {
+        for s in 0..cfg.sets_per_rate {
+            let cell_id = (ri * cfg.sets_per_rate + s) as u64;
+            let mut stream = SplitMix64::seed_from_u64(cfg.seed).split(cell_id);
+            let body_seed = stream.next_u64();
+            let clock_seed = stream.next_u64();
+            for (pi, kind) in cfg.policies.iter().enumerate() {
+                let hard = run_cell(*kind, cfg.duration, body_seed, clock_plan(clock_seed, rate));
+                let clean = run_cell(*kind, cfg.duration, body_seed, ClockPlan::none());
+                let cell = &mut cells[ri * n_pol + pi];
+                cell.energy += hard.energy;
+                cell.baseline += clean.energy;
+                cell.policy_blamed += hard.policy_blamed + clean.policy_blamed + clean.excused;
+                cell.excused += hard.excused;
+            }
+        }
+    }
+
+    let series = cfg
+        .policies
+        .iter()
+        .enumerate()
+        .map(|(pi, kind)| BenchSeries {
+            policy: kind.name().to_owned(),
+            n_tasks: RELAXED_TABLE2.len(),
+            points: cfg
+                .adversity_rates
+                .iter()
+                .enumerate()
+                .map(|(ri, &rate)| {
+                    let cell = &cells[ri * n_pol + pi];
+                    BenchPoint {
+                        u: rate,
+                        energy_norm: cell.energy / cell.baseline,
+                        deadline_miss: cell.policy_blamed,
+                        fault_miss: cell.excused,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    BenchArtifact {
+        seed: cfg.seed,
+        threads: 1,
+        grid: BenchGrid {
+            label: CLOCK_LABEL.to_owned(),
+            n_tasks: vec![RELAXED_TABLE2.len()],
+            utilizations: cfg.adversity_rates.clone(),
+            sets_per_point: cfg.sets_per_rate,
+            duration_ms: cfg.duration.as_ms(),
+            policies: cfg.policies.iter().map(|k| k.name().to_owned()).collect(),
+        },
+        series,
+        wall_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClockConfig {
+        let mut cfg = clock_smoke_config(0xC10C);
+        cfg.adversity_rates = vec![0.0, 0.5];
+        cfg.sets_per_rate = 2;
+        cfg.duration = Time::from_ms(300.0);
+        cfg
+    }
+
+    #[test]
+    fn clock_artifact_is_deterministic() {
+        let cfg = tiny();
+        let a = run_clock(&cfg);
+        let b = run_clock(&cfg);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn rate_zero_column_proves_the_inactive_plan_is_free() {
+        // At rate 0 every builder installs nothing, the plan is
+        // ClockPlan::none(), and set_clock_plan attaches no driver, so
+        // the run must be byte-identical to the clean baseline: zero
+        // draws, zero gating, normalization exactly 1.
+        let artifact = run_clock(&tiny());
+        for series in &artifact.series {
+            let p0 = &series.points[0];
+            assert_eq!(p0.u, 0.0);
+            assert_eq!(
+                p0.energy_norm.to_bits(),
+                1.0_f64.to_bits(),
+                "{}",
+                series.policy
+            );
+            assert_eq!(p0.deadline_miss, 0, "{}", series.policy);
+            assert_eq!(p0.fault_miss, 0, "{}", series.policy);
+        }
+    }
+
+    #[test]
+    fn smoke_grid_blames_no_policy_and_audits_clean() {
+        // The PR's acceptance criterion: across the whole smoke grid, no
+        // miss is ever policy-blamed — the monotonicity clamp, the
+        // catch-up cascade, the drift margins, and the watchdog absorb
+        // every injected clock fault — and every event log replays clean
+        // through the auditor (no backward timestamp, no out-of-bound
+        // release latency, no lifecycle inconsistency).
+        let artifact = run_clock(&clock_smoke_config(0x5eed));
+        let problems = artifact.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+        for series in &artifact.series {
+            for p in &series.points {
+                assert_eq!(
+                    p.deadline_miss, 0,
+                    "{} policy-blamed at adversity rate {}",
+                    series.policy, p.u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversity_is_observable_at_the_top_rate() {
+        // At the highest rate the faulty clock must leave a measurable
+        // footprint on at least one policy: a drift-margin energy cost, a
+        // gating energy shift, or an excused miss. A grid where rate 0.5
+        // is indistinguishable from a clean clock means the plan never
+        // reached the kernel.
+        let artifact = run_clock(&tiny());
+        let touched = artifact.series.iter().any(|s| {
+            let last = s.points.last().expect("non-empty");
+            last.energy_norm.to_bits() != 1.0_f64.to_bits() || last.fault_miss > 0
+        });
+        assert!(touched, "rate 0.5 left no footprint on any policy");
+    }
+}

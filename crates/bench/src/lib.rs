@@ -13,6 +13,7 @@ pub mod artifact;
 pub mod campaign;
 pub mod chaos;
 pub mod chart;
+pub mod clock;
 pub mod figures;
 pub mod microbench;
 pub mod modes;
@@ -28,11 +29,12 @@ pub use artifact::{compare, BenchArtifact, BenchGrid, BenchPoint, BenchSeries};
 pub use campaign::{
     campaign_smoke_config, cell_findings, compare_campaign, known_violating_campaign, materialize,
     policy_by_name, replay_repro, run_campaign, shrink_plan, CampaignArtifact, CampaignCell,
-    CampaignConfig, CampaignSchedules, ChaosPlan, ChurnDim, FaultDim, FloodDim, KillDim,
+    CampaignConfig, CampaignSchedules, ChaosPlan, ChurnDim, ClockDim, FaultDim, FloodDim, KillDim,
     RegulatorDim, ReproArtifact, ReproViolation, Window,
 };
 pub use chaos::{chaos_smoke_config, run_chaos, ChaosConfig};
 pub use chart::render_normalized_chart;
+pub use clock::{clock_smoke_config, run_clock, ClockConfig};
 pub use figures::*;
 pub use modes::{modes_smoke_config, run_modes, ModesConfig};
 pub use regulator::{regulator_smoke_config, run_regulator, RegulatorConfig};

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 
 use rtdvs_core::machine::{Machine, PointIdx};
 use rtdvs_core::policy::{DvsPolicy, PolicyKind};
-use rtdvs_core::readyq::{tick_of, ReadyQueue};
+use rtdvs_core::readyq::ReadyQueue;
 use rtdvs_core::sched::SchedulerKind;
 use rtdvs_core::task::{Task, TaskError, TaskId, TaskSet};
 use rtdvs_core::time::{Time, Work, EPS};
@@ -223,6 +223,37 @@ pub enum KernelEvent {
     /// The watchdog supervisor restored the kernel from its last
     /// checkpoint after detecting a stall or repeated containment.
     SupervisorRestored,
+    /// A run of timer ticks was lost or coalesced and then recovered: the
+    /// gap closed and the release backlog was drained through the
+    /// catch-up cascade.
+    ClockTickGap {
+        /// Ticks that went undelivered inside the gap.
+        missed: u64,
+    },
+    /// The raw RTC attempted a backward jump; the time base's
+    /// monotonicity clamp refused it, so kernel time never moved.
+    ClockJumpClamped {
+        /// The backward distance the RTC attempted (always positive).
+        attempted: Time,
+    },
+    /// The stalled-tick watchdog changed state. While engaged it forces
+    /// synthetic tick deliveries and escalates — upward only — to the
+    /// capped fail-safe rail.
+    ClockWatchdog {
+        /// `true` on engagement, `false` when real ticks resume.
+        engaged: bool,
+    },
+    /// An invocation was released later than its scheduled instant
+    /// because the tick gate held it back (clock-induced latency; the
+    /// audit layer bounds it by the watchdog's worst-case gap).
+    ReleaseLate {
+        /// The task.
+        handle: TaskHandle,
+        /// The invocation that was late.
+        invocation: u64,
+        /// How far past the scheduled release it fired.
+        latency: Time,
+    },
 }
 
 /// Errors from the admission and lifecycle API.
@@ -418,6 +449,11 @@ pub struct RtKernel {
     /// task that drives each one. Kept here so procfs can read tenant
     /// state back and checkpoints can restore the pairing.
     pub(crate) tenant_servers: Vec<(TaskHandle, crate::tenants::TenantServer)>,
+    /// The kernel time base: drift estimate, monotonicity clamp and
+    /// watchdog state, plus the live clock driver when a fault plan is
+    /// attached (see [`crate::timebase`]). Observed state is serialized;
+    /// the driver, like the regulator, is re-attached instead.
+    pub(crate) timebase: crate::timebase::TimeBase,
 }
 
 impl RtKernel {
@@ -462,6 +498,7 @@ impl RtKernel {
             supervisor: None,
             rq: ReadyQueue::new(),
             tenant_servers: Vec::new(),
+            timebase: crate::timebase::TimeBase::default(),
         };
         kernel.log.push((
             Time::ZERO,
@@ -773,8 +810,19 @@ impl RtKernel {
         let spec = user_spec
             .with_inflated_wcet(self.stall_budget())
             .map_err(KernelError::BadTask)?;
+        // Under observed clock drift the guarantee test sees an extra
+        // WCET margin — on the candidate only, never the stored spec, so
+        // checkpoint restores stay bit-exact.
+        let margin = self.clock_admission_margin();
+        let admission_spec = if margin.is_positive() {
+            user_spec
+                .with_inflated_wcet(self.stall_budget() + margin)
+                .map_err(KernelError::BadTask)?
+        } else {
+            spec
+        };
         let mut specs: Vec<Task> = self.entries.iter().map(|e| e.spec).collect();
-        specs.push(spec);
+        specs.push(admission_spec);
         let candidate = TaskSet::new(specs).expect("at least the new task");
         if !self.policy.guarantees(&candidate) {
             return Err(KernelError::NotSchedulable {
@@ -966,7 +1014,9 @@ impl RtKernel {
                         invocation: e.invocation,
                         state: e.state,
                         executed: e.executed,
-                        deadline: e.deadline,
+                        // Policies see deadlines tightened by the drift
+                        // estimate; miss detection keeps the raw one.
+                        deadline: self.clock_tightened_deadline(e.deadline),
                         next_release: e.next_release,
                     }
                 }
@@ -1022,8 +1072,9 @@ impl RtKernel {
         self.notify(idx, false);
     }
 
-    fn release(&mut self, idx: usize) {
+    pub(crate) fn release(&mut self, idx: usize) {
         let period = self.entries[idx].spec.period();
+        let scheduled = self.entries[idx].next_release;
         if self.entries[idx].state == InvState::Active {
             let ev = KernelEvent::DeadlineMiss {
                 handle: self.entries[idx].handle,
@@ -1049,6 +1100,7 @@ impl RtKernel {
         e.overrun_logged = false;
         let inv = e.invocation;
         e.actual = e.body.run(inv, &e.user_spec).max(Work::ZERO);
+        self.note_release_latency(idx, inv, scheduled);
         let ev = KernelEvent::Released {
             handle: self.entries[idx].handle,
             invocation: inv,
@@ -1362,13 +1414,7 @@ impl RtKernel {
                 }
                 progressed = true;
             }
-            for i in 0..self.entries.len() {
-                if !self.entries[i].deferred && self.entries[i].next_release.at_or_before(self.now)
-                {
-                    self.release(i);
-                    progressed = true;
-                }
-            }
+            progressed |= self.process_due_releases();
             if !progressed {
                 break;
             }
@@ -1406,7 +1452,7 @@ impl RtKernel {
             .filter(|e| e.state == InvState::Active)
             .map(|e| e.deadline)
             .min_by(|a, b| a.as_ms().total_cmp(&b.as_ms()))
-            .map(|d| (d - self.now).max(Time::ZERO))
+            .map(|d| self.clock_reduced_slack((d - self.now).max(Time::ZERO)))
     }
 
     /// Backoff inserted after failed attempt `attempt`: exponential in the
@@ -1658,7 +1704,7 @@ impl RtKernel {
             // pick in O(1). Rebuilding is still a linear sweep, but it
             // allocates nothing (the queue's storage is reused) and the
             // pick itself no longer scans: same schedule, cheaper loop.
-            let now_tick = tick_of(self.now);
+            let now_tick = self.now_tick_index();
             self.rq.clear();
             for (i, e) in self.entries.iter().enumerate() {
                 if e.state == InvState::Active && self.remaining(i).is_positive() {
@@ -1677,6 +1723,9 @@ impl RtKernel {
                 // Empty kernel: sleep at the bottom of the ladder.
                 self.machine.lowest()
             };
+            // An engaged stalled-tick watchdog escalates to the capped
+            // fail-safe rail — upward only.
+            let desired = self.clock_failsafe_point(desired);
             self.apply_point(desired);
             // Under a regulator the point that landed may sit above the
             // desired one (safe-point fallback); run and charge at what
@@ -1686,13 +1735,19 @@ impl RtKernel {
             let op = self.machine.point(landed);
 
             let mut t_next = t;
+            // A release held back by the tick gate must not pin time: the
+            // next timer tick (below) drives progress toward gap close.
+            let gate = self.timebase.release_gate();
             for e in &self.entries {
-                if !e.deferred {
+                if !e.deferred && gate.is_none_or(|cov| e.next_release.at_or_before(cov)) {
                     t_next = t_next.min(e.next_release.max(self.now));
                 }
             }
             for shed in &self.shed {
                 t_next = t_next.min(shed.next_attempt.max(self.now));
+            }
+            if let Some(tick) = self.timebase.next_tick_at() {
+                t_next = t_next.min(tick.max(self.now));
             }
             if let Some(id) = running {
                 let exec_start = self.now.max(self.stall_until);
@@ -1730,7 +1785,7 @@ impl RtKernel {
                     }
                 }
             }
-            self.now = t_next;
+            self.advance_clock(t_next);
         }
         self.process_due_events();
     }

@@ -39,6 +39,7 @@ pub mod server;
 pub mod snapshot;
 pub mod supervisor;
 pub mod tenants;
+pub mod timebase;
 
 pub use availability::AvailabilityStats;
 pub use body::{
@@ -51,6 +52,7 @@ pub use server::{AperiodicServer, CompletedJob, JobId};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState};
 pub use tenants::{SubmitOutcome, TenantConfigError, TenantLaneStats, TenantServer};
+pub use timebase::{ClockStats, TimeBase, TICK_MS, WATCHDOG_GAP_TICKS};
 
 #[cfg(test)]
 mod tests {

@@ -31,6 +31,7 @@
 //! ladder                                      -> "pos=<rung> policy=<name>"
 //! availability                                -> "up=… nominal=… mttf=… rungs=…"
 //! tenants                                     -> "none" | one line per tenant lane
+//! clock                                       -> "inactive" | "drift_ppm=… ewma_ms=… clamped=… last_clamp=… catch_up=… gap=… watchdog=…"
 //! supervisor                                  -> "off" | "state=… restores=… checkpoint=…"
 //! supervise <heartbeat_ms>                    -> "ok heartbeat=<ms>"
 //! ```
@@ -211,6 +212,25 @@ fn try_execute(kernel: &mut RtKernel, line: &str) -> Result<String, String> {
             } else {
                 Ok(lines.join("\n"))
             }
+        }
+        ("clock", []) => {
+            let stats = kernel.clock_stats();
+            if !stats.active {
+                return Ok("inactive".to_owned());
+            }
+            let last_clamp = stats
+                .last_clamp
+                .map_or_else(|| "never".to_owned(), |t| format!("{:.3}", t.as_ms()));
+            Ok(format!(
+                "drift_ppm={:.3} ewma_ms={:.6} clamped={} last_clamp={last_clamp} \
+                 catch_up={} gap={} watchdog={}",
+                stats.drift_ppm,
+                stats.ewma_err_ms,
+                stats.clamped_jumps,
+                stats.max_catch_up,
+                stats.pending_gap,
+                if stats.watchdog { "yes" } else { "no" },
+            ))
         }
         ("availability", []) => {
             let stats = kernel.availability();
@@ -418,6 +438,22 @@ mod tests {
             lines[1],
             "rt1 tenant2 quota=0.500 backlog=0 shed=0 rejected=0 quarantine=no"
         );
+    }
+
+    #[test]
+    fn clock_reads_back() {
+        use rtdvs_sim::ClockPlan;
+
+        let mut k = kernel();
+        assert_eq!(execute(&mut k, "clock"), "inactive");
+        k.set_clock_plan(ClockPlan::new(0xC10C_5EED).with_tick_loss(0.4));
+        execute(&mut k, "register 10 3 0.9");
+        execute(&mut k, "run 200");
+        let reply = execute(&mut k, "clock");
+        assert!(reply.contains("clamped=0"), "{reply}");
+        assert!(reply.contains("last_clamp=never"), "{reply}");
+        assert!(reply.contains("catch_up="), "{reply}");
+        assert!(reply.contains("watchdog="), "{reply}");
     }
 
     #[test]

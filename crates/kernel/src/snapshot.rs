@@ -281,6 +281,23 @@ fn write_kernel(
         "regulator-stats {} {} {} {}",
         k.transition_retries, k.transition_failures, k.regulator_fallbacks, k.forced_transitions,
     );
+    // Time-base stanza: written only when something was observed, so a
+    // kernel that never saw a clock fault serializes exactly as before
+    // (and old snapshots restore to the default time base).
+    if !k.timebase.is_default_state() {
+        let tb = &k.timebase;
+        let _ = writeln!(
+            w,
+            "timebase {} {} {} {} {} {} {}",
+            hex(tb.ewma_err_ms),
+            tb.clamped_jumps,
+            hex(tb.last_clamp.as_ms()),
+            tb.max_catch_up,
+            tb.pending_gap,
+            u8::from(tb.pending_catch_up),
+            u8::from(tb.watchdog),
+        );
+    }
     let _ = write!(w, "machine {}", k.machine.len());
     for p in k.machine.points() {
         let _ = write!(w, " {} {}", hex(p.freq), hex(p.volts));
@@ -551,6 +568,22 @@ fn event_tokens(ev: &KernelEvent) -> String {
         },
         KernelEvent::LadderStepped { from, to } => format!("ladder {from} {to}"),
         KernelEvent::SupervisorRestored => "sup-restored".into(),
+        KernelEvent::ClockTickGap { missed } => format!("clock-gap {missed}"),
+        KernelEvent::ClockJumpClamped { attempted } => {
+            format!("clock-jump {}", hex(attempted.as_ms()))
+        }
+        KernelEvent::ClockWatchdog { engaged } => {
+            format!("clock-watchdog {}", u8::from(*engaged))
+        }
+        KernelEvent::ReleaseLate {
+            handle,
+            invocation,
+            latency,
+        } => format!(
+            "release-late {} {invocation} {}",
+            handle.raw(),
+            hex(latency.as_ms())
+        ),
     }
 }
 
@@ -629,16 +662,22 @@ impl<'a> Toks<'a> {
     }
 }
 
-/// Line cursor that enforces each line's expected tag.
+/// Line cursor that enforces each line's expected tag. A one-line
+/// push-back buffer supports optional stanzas: peeking a line that turns
+/// out to carry a different tag leaves it in place for the next read.
 struct LineReader<'a> {
     it: std::str::Lines<'a>,
+    pending: Option<&'a str>,
 }
 
 impl<'a> LineReader<'a> {
+    fn next_line(&mut self) -> Option<&'a str> {
+        self.pending.take().or_else(|| self.it.next())
+    }
+
     fn tagged(&mut self, tag: &str) -> Result<Toks<'a>, SnapshotError> {
         let line = self
-            .it
-            .next()
+            .next_line()
             .ok_or_else(|| corrupt(format!("missing {tag:?} line")))?;
         let mut toks = Toks::new(line);
         let got = toks.word()?;
@@ -646,6 +685,19 @@ impl<'a> LineReader<'a> {
             return Err(corrupt(format!("expected {tag:?} line, found {got:?}")));
         }
         Ok(toks)
+    }
+
+    /// Like [`LineReader::tagged`], but a line with a different tag (or
+    /// end of input) is not an error: it stays queued and `None` comes
+    /// back. Used for stanzas that older snapshots simply don't carry.
+    fn optional_tagged(&mut self, tag: &str) -> Option<Toks<'a>> {
+        let line = self.next_line()?;
+        let mut toks = Toks::new(line);
+        if toks.word().ok() == Some(tag) {
+            return Some(toks);
+        }
+        self.pending = Some(line);
+        None
     }
 }
 
@@ -984,6 +1036,20 @@ fn parse_event(toks: &mut Toks<'_>) -> Result<KernelEvent, SnapshotError> {
             to: intern_policy_name(toks.word()?)?,
         }),
         "sup-restored" => Ok(KernelEvent::SupervisorRestored),
+        "clock-gap" => Ok(KernelEvent::ClockTickGap {
+            missed: toks.u64()?,
+        }),
+        "clock-jump" => Ok(KernelEvent::ClockJumpClamped {
+            attempted: toks.time()?,
+        }),
+        "clock-watchdog" => Ok(KernelEvent::ClockWatchdog {
+            engaged: toks.flag()?,
+        }),
+        "release-late" => Ok(KernelEvent::ReleaseLate {
+            handle: handle(toks)?,
+            invocation: toks.u64()?,
+            latency: toks.time()?,
+        }),
         t => Err(corrupt(format!("unknown event {t:?}"))),
     }
 }
@@ -992,8 +1058,11 @@ fn parse_event(toks: &mut Toks<'_>) -> Result<KernelEvent, SnapshotError> {
 fn restore_from_text(
     text: &str,
 ) -> Result<(RtKernel, Vec<(TaskHandle, AperiodicServer)>), SnapshotError> {
-    let mut lines = LineReader { it: text.lines() };
-    let first = lines.it.next().ok_or_else(|| corrupt("empty text"))?;
+    let mut lines = LineReader {
+        it: text.lines(),
+        pending: None,
+    };
+    let first = lines.next_line().ok_or_else(|| corrupt("empty text"))?;
     if first != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(first.to_string()));
     }
@@ -1074,6 +1143,17 @@ fn restore_from_text(
     let regulator_fallbacks = t.u64()?;
     let forced_transitions = t.u64()?;
     t.done()?;
+    let mut timebase = crate::timebase::TimeBase::default();
+    if let Some(mut t) = lines.optional_tagged("timebase") {
+        timebase.ewma_err_ms = t.f64_()?;
+        timebase.clamped_jumps = t.u64()?;
+        timebase.last_clamp = t.time()?;
+        timebase.max_catch_up = t.u64()?;
+        timebase.pending_gap = t.u64()?;
+        timebase.pending_catch_up = t.flag()?;
+        timebase.watchdog = t.flag()?;
+        t.done()?;
+    }
     let mut t = lines.tagged("machine")?;
     let n_points = t.usize_()?;
     let mut pairs = Vec::with_capacity(n_points);
@@ -1152,6 +1232,9 @@ fn restore_from_text(
         supervisor: None,
         rq: rtdvs_core::readyq::ReadyQueue::new(),
         tenant_servers: Vec::new(),
+        // Observed state restores; the driver, like the regulator, is
+        // live hardware the caller re-attaches.
+        timebase,
     };
     if let Some(p) = kernel.applied {
         if p >= kernel.machine.len() {
@@ -1254,7 +1337,7 @@ fn restore_from_text(
     }
 
     let _ = lines.tagged("checksum")?;
-    if lines.it.next().is_some() {
+    if lines.next_line().is_some() {
         return Err(corrupt("trailing lines after checksum"));
     }
 

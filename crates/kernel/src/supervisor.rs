@@ -270,6 +270,7 @@ impl RtKernel {
         // regulator keeps its mutated fault streams, the brownout cap is
         // whatever the world currently imposes.
         fresh.regulator = self.regulator.take();
+        fresh.timebase.driver = self.timebase.driver.take();
         fresh.brownout_cap = self.brownout_cap;
         fresh.ladder_review_at = fresh.now;
         fresh.log.push((fresh.now, KernelEvent::SupervisorRestored));

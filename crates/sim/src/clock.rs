@@ -1,0 +1,460 @@
+//! Deterministic clock/timer fault injection.
+//!
+//! Every RT-DVS guarantee rests on an accurate time base: releases fire on
+//! timer interrupts, laEDF/ccEDF compute slack against assumed-true
+//! deadlines, and transition settle deadlines are measured on the same
+//! clock. A [`ClockPlan`] breaks that assumption on purpose — and
+//! deterministically, exactly like [`crate::FaultPlan`] breaks condition
+//! C2: oscillator drift (slow ppm ramps of the tick spacing), lost timer
+//! ticks, coalesced tick bursts, and bounded backward RTC jumps.
+//!
+//! # Determinism contract
+//!
+//! Each fault type draws from its own [`SplitMix64`] child stream, derived
+//! from the plan's seed via [`SplitMix64::split`]. Rates are Bernoulli
+//! probabilities evaluated once per opportunity — here, once per scheduled
+//! timer tick inside the plan's active window. A plan with no faults
+//! installed ([`ClockPlan::none`], or any builder called with rate 0)
+//! performs zero draws and leaves the consumer byte-identical to a run
+//! with no plan at all; `tests/clock_properties.rs` pins this per policy.
+
+use rtdvs_core::time::Time;
+use rtdvs_taskgen::SplitMix64;
+
+use crate::fault::fires;
+
+/// Oscillator drift: with probability `rate` per tick, the oscillator
+/// picks a new drift target uniform in `[-max_ppm, +max_ppm]` and ramps
+/// toward it; the tick spacing becomes `nominal × (1 + ppm/1e6)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftFault {
+    /// Probability per tick that the drift target moves.
+    pub rate: f64,
+    /// Largest drift magnitude, parts per million.
+    pub max_ppm: f64,
+}
+
+/// Lost ticks: with probability `rate` per tick, the timer interrupt is
+/// dropped — releases scheduled against it slip to the next delivered
+/// tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickLossFault {
+    /// Probability per tick that the tick is lost.
+    pub rate: f64,
+}
+
+/// Coalesced ticks: with probability `rate` per tick, delivery is
+/// deferred and batched with following ticks (interrupt coalescing); a
+/// burst drains at the next undeferred tick or when it reaches
+/// `max_burst` pending ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalesceFault {
+    /// Probability per tick that the tick joins a burst.
+    pub rate: f64,
+    /// Largest number of ticks a burst may hold back.
+    pub max_burst: u32,
+}
+
+/// Backward RTC jumps: with probability `rate` per tick, the raw clock
+/// reading jumps backward by a uniform amount in `(0, max_ms]` — the
+/// consumer's monotonicity clamp must absorb it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JumpFault {
+    /// Probability per tick that the RTC jumps backward.
+    pub rate: f64,
+    /// Largest backward jump, milliseconds.
+    pub max_ms: f64,
+}
+
+/// A seeded, deterministic clock-fault plan.
+///
+/// Built with [`ClockPlan::new`] plus `with_*` calls; [`ClockPlan::none`]
+/// (the [`Default`]) injects nothing and is provably zero-cost. Builders
+/// with a zero rate install nothing, so a rate-0 plan *is* `none()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockPlan {
+    /// Seed for the per-fault child streams.
+    pub seed: u64,
+    /// Oscillator drift injection.
+    pub drift: Option<DriftFault>,
+    /// Lost timer ticks.
+    pub loss: Option<TickLossFault>,
+    /// Coalesced tick bursts.
+    pub coalesce: Option<CoalesceFault>,
+    /// Backward RTC jumps.
+    pub jump: Option<JumpFault>,
+    /// Active window `(start, end)`, half-open in time; `None` means the
+    /// whole run. Ticks outside the window draw nothing and are delivered
+    /// cleanly, so clipping the window toward zero width shrinks the plan
+    /// toward `none()`.
+    pub window: Option<(Time, Time)>,
+}
+
+impl ClockPlan {
+    /// The empty plan: injects nothing, draws nothing, changes nothing.
+    #[must_use]
+    pub fn none() -> ClockPlan {
+        ClockPlan {
+            seed: 0,
+            drift: None,
+            loss: None,
+            coalesce: None,
+            jump: None,
+            window: None,
+        }
+    }
+
+    /// An empty plan with a seed, ready for `with_*` builders.
+    #[must_use]
+    pub fn new(seed: u64) -> ClockPlan {
+        ClockPlan {
+            seed,
+            ..ClockPlan::none()
+        }
+    }
+
+    /// Enables oscillator drift. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_drift(mut self, rate: f64, max_ppm: f64) -> ClockPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        debug_assert!(max_ppm >= 0.0, "negative drift bound {max_ppm}");
+        self.drift = (rate > 0.0).then_some(DriftFault { rate, max_ppm });
+        self
+    }
+
+    /// Enables lost ticks. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_tick_loss(mut self, rate: f64) -> ClockPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        self.loss = (rate > 0.0).then_some(TickLossFault { rate });
+        self
+    }
+
+    /// Enables tick coalescing. A non-positive rate installs nothing.
+    #[must_use]
+    pub fn with_coalescing(mut self, rate: f64, max_burst: u32) -> ClockPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        debug_assert!(max_burst >= 1, "burst bound below 1");
+        self.coalesce = (rate > 0.0).then_some(CoalesceFault { rate, max_burst });
+        self
+    }
+
+    /// Enables bounded backward RTC jumps. A non-positive rate installs
+    /// nothing.
+    #[must_use]
+    pub fn with_backward_jumps(mut self, rate: f64, max_ms: f64) -> ClockPlan {
+        debug_assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        debug_assert!(max_ms >= 0.0, "negative jump bound {max_ms}");
+        self.jump = (rate > 0.0).then_some(JumpFault { rate, max_ms });
+        self
+    }
+
+    /// Restricts fault draws to the half-open window `[start, end)`.
+    #[must_use]
+    pub fn with_window(mut self, start: Time, end: Time) -> ClockPlan {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// `true` if any fault type is installed.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drift.is_some()
+            || self.loss.is_some()
+            || self.coalesce.is_some()
+            || self.jump.is_some()
+    }
+}
+
+impl Default for ClockPlan {
+    fn default() -> ClockPlan {
+        ClockPlan::none()
+    }
+}
+
+/// What happened to one scheduled timer tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// The tick arrived, releasing `batched` previously deferred ticks
+    /// with it (0 outside coalescing bursts).
+    Delivered {
+        /// Deferred ticks drained by this delivery.
+        batched: u32,
+    },
+    /// The tick was dropped entirely.
+    Lost,
+    /// The tick joined a coalescing burst; it will be delivered with a
+    /// later tick.
+    Deferred,
+}
+
+/// One tick's full observation: delivery outcome plus any backward RTC
+/// jump the raw clock attempted at this tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickObservation {
+    /// Delivery outcome.
+    pub outcome: TickOutcome,
+    /// Backward jump the raw RTC attempted, if any.
+    pub backward_jump: Option<Time>,
+}
+
+/// The hardware-side oracle a consumer steps tick by tick: owns the
+/// per-fault child streams and the oscillator/coalescing state.
+#[derive(Debug, Clone)]
+pub struct ClockOracle {
+    plan: ClockPlan,
+    drift: SplitMix64,
+    loss: SplitMix64,
+    coalesce: SplitMix64,
+    jump: SplitMix64,
+    current_ppm: f64,
+    target_ppm: f64,
+    deferred: u32,
+}
+
+/// Fraction of the gap to the drift target closed per tick (slow ramp).
+const DRIFT_RAMP: f64 = 0.25;
+
+impl ClockOracle {
+    /// Builds the oracle for `plan`, streams split from its seed.
+    #[must_use]
+    pub fn new(plan: ClockPlan) -> ClockOracle {
+        let root = SplitMix64::seed_from_u64(plan.seed);
+        ClockOracle {
+            plan,
+            drift: root.split(0x1C_0001),
+            loss: root.split(0x1C_0002),
+            coalesce: root.split(0x1C_0003),
+            jump: root.split(0x1C_0004),
+            current_ppm: 0.0,
+            target_ppm: 0.0,
+            deferred: 0,
+        }
+    }
+
+    /// `true` if any fault type is installed.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    fn in_window(&self, at: Time) -> bool {
+        match self.plan.window {
+            None => true,
+            Some((start, end)) => !at.definitely_before(start) && at.definitely_before(end),
+        }
+    }
+
+    /// Evaluates the tick scheduled at `at`: one Bernoulli draw per
+    /// installed fault type per in-window tick, in a fixed order, each
+    /// from its own stream. Out-of-window ticks draw nothing and are
+    /// delivered cleanly (flushing any pending burst).
+    pub fn on_tick(&mut self, at: Time) -> TickObservation {
+        if !self.in_window(at) {
+            let batched = self.deferred;
+            self.deferred = 0;
+            return TickObservation {
+                outcome: TickOutcome::Delivered { batched },
+                backward_jump: None,
+            };
+        }
+        if let Some(f) = self.plan.drift {
+            if fires(&mut self.drift, f.rate) {
+                self.target_ppm = self.drift.range_f64_inclusive(-f.max_ppm, f.max_ppm);
+            }
+            self.current_ppm += (self.target_ppm - self.current_ppm) * DRIFT_RAMP;
+        }
+        let backward_jump = self.plan.jump.and_then(|f| {
+            if fires(&mut self.jump, f.rate) {
+                let jump = self.jump.range_f64_inclusive(0.0, f.max_ms);
+                (jump > 0.0).then(|| Time::from_ms(jump))
+            } else {
+                None
+            }
+        });
+        let lost = self
+            .plan
+            .loss
+            .is_some_and(|f| fires(&mut self.loss, f.rate));
+        let coalesced = self
+            .plan
+            .coalesce
+            .is_some_and(|f| fires(&mut self.coalesce, f.rate));
+        let outcome = if lost {
+            TickOutcome::Lost
+        } else if coalesced {
+            let cap = self.plan.coalesce.map_or(1, |f| f.max_burst);
+            if self.deferred.saturating_add(1) >= cap {
+                // The burst is full: deliver it with this tick.
+                let batched = self.deferred;
+                self.deferred = 0;
+                TickOutcome::Delivered { batched }
+            } else {
+                self.deferred += 1;
+                TickOutcome::Deferred
+            }
+        } else {
+            let batched = self.deferred;
+            self.deferred = 0;
+            TickOutcome::Delivered { batched }
+        };
+        TickObservation {
+            outcome,
+            backward_jump,
+        }
+    }
+
+    /// The spacing to the next tick after one scheduled at `at`, with the
+    /// oscillator's current drift applied (nominal outside the window).
+    #[must_use]
+    pub fn next_interval_ms(&self, at: Time, nominal_ms: f64) -> f64 {
+        if self.in_window(at) {
+            nominal_ms * (1.0 + self.current_ppm / 1.0e6)
+        } else {
+            nominal_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        let p = ClockPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p, ClockPlan::default());
+        assert!(!ClockOracle::new(p).is_active());
+    }
+
+    #[test]
+    fn zero_rate_builders_install_nothing() {
+        let p = ClockPlan::new(7)
+            .with_drift(0.0, 500.0)
+            .with_tick_loss(0.0)
+            .with_coalescing(0.0, 4)
+            .with_backward_jumps(0.0, 2.0);
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = ClockPlan::new(7)
+            .with_drift(0.1, 500.0)
+            .with_tick_loss(0.05)
+            .with_coalescing(0.05, 4)
+            .with_backward_jumps(0.02, 2.0)
+            .with_window(Time::from_ms(10.0), Time::from_ms(90.0));
+        assert!(p.is_active());
+        assert_eq!(p.drift.map(|f| f.max_ppm), Some(500.0));
+        assert_eq!(p.coalesce.map(|f| f.max_burst), Some(4));
+    }
+
+    #[test]
+    fn oracle_is_deterministic_and_streams_are_independent() {
+        let plan = ClockPlan::new(42)
+            .with_drift(0.2, 400.0)
+            .with_tick_loss(0.2)
+            .with_coalescing(0.2, 4)
+            .with_backward_jumps(0.2, 2.0);
+        let mut a = ClockOracle::new(plan);
+        let mut b = ClockOracle::new(plan);
+        // Drift-only twin: its loss/coalesce/jump streams never move, and
+        // its drift draws must match the full plan's despite the other
+        // dimensions drawing in between.
+        let mut drift_only = ClockOracle::new(ClockPlan::new(42).with_drift(0.2, 400.0));
+        for i in 0..256 {
+            let at = Time::from_ms(f64::from(i));
+            let oa = a.on_tick(at);
+            let ob = b.on_tick(at);
+            assert_eq!(oa, ob, "tick {i}: twins diverged");
+            let od = drift_only.on_tick(at);
+            assert_eq!(
+                od.outcome,
+                TickOutcome::Delivered { batched: 0 },
+                "tick {i}: drift-only plan dropped a tick"
+            );
+            assert_eq!(
+                drift_only.current_ppm.to_bits(),
+                a.current_ppm.to_bits(),
+                "tick {i}: drift stream moved with other dimensions"
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_bursts_are_bounded_and_conserved() {
+        let plan = ClockPlan::new(9).with_coalescing(1.0, 3);
+        let mut oracle = ClockOracle::new(plan);
+        let mut scheduled = 0u32;
+        let mut delivered = 0u32;
+        let mut pending = 0u32;
+        for i in 0..300 {
+            scheduled += 1;
+            match oracle.on_tick(Time::from_ms(f64::from(i))).outcome {
+                TickOutcome::Delivered { batched } => {
+                    assert!(batched < 3, "burst exceeded its bound");
+                    delivered += 1 + batched;
+                    pending = 0;
+                }
+                TickOutcome::Deferred => {
+                    pending += 1;
+                    assert!(pending < 3, "deferred past the burst bound");
+                }
+                TickOutcome::Lost => unreachable!("no loss installed"),
+            }
+        }
+        assert_eq!(scheduled, delivered + pending, "ticks leaked");
+    }
+
+    #[test]
+    fn out_of_window_ticks_draw_nothing() {
+        let windowed = ClockPlan::new(5)
+            .with_tick_loss(1.0)
+            .with_window(Time::from_ms(1000.0), Time::from_ms(2000.0));
+        let mut oracle = ClockOracle::new(windowed);
+        for i in 0..100 {
+            let obs = oracle.on_tick(Time::from_ms(f64::from(i)));
+            assert_eq!(obs.outcome, TickOutcome::Delivered { batched: 0 });
+            assert_eq!(obs.backward_jump, None);
+        }
+        // Inside the window the same stream fires from its start: the
+        // out-of-window ticks consumed nothing.
+        let mut fresh = ClockOracle::new(ClockPlan::new(5).with_tick_loss(1.0));
+        let inside = oracle.on_tick(Time::from_ms(1000.0));
+        let reference = fresh.on_tick(Time::from_ms(1000.0));
+        assert_eq!(inside.outcome, reference.outcome);
+        assert_eq!(inside.outcome, TickOutcome::Lost);
+    }
+
+    #[test]
+    fn drift_ramps_toward_its_target_within_bounds() {
+        let plan = ClockPlan::new(3).with_drift(1.0, 200.0);
+        let mut oracle = ClockOracle::new(plan);
+        for i in 0..500 {
+            let at = Time::from_ms(f64::from(i));
+            let _ = oracle.on_tick(at);
+            assert!(
+                oracle.current_ppm.abs() <= 200.0 + 1e-9,
+                "ramp escaped the ppm bound"
+            );
+            let interval = oracle.next_interval_ms(at, 1.0);
+            assert!((interval - 1.0).abs() <= 200.0 / 1.0e6 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_jumps_are_positive_and_bounded() {
+        let plan = ClockPlan::new(11).with_backward_jumps(1.0, 2.5);
+        let mut oracle = ClockOracle::new(plan);
+        let mut seen = 0;
+        for i in 0..200 {
+            if let Some(j) = oracle.on_tick(Time::from_ms(f64::from(i))).backward_jump {
+                assert!(j.as_ms() > 0.0 && j.as_ms() <= 2.5);
+                seen += 1;
+            }
+        }
+        assert!(seen > 150, "rate-1.0 jumps fired only {seen}/200 times");
+    }
+}

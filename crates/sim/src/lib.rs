@@ -30,6 +30,7 @@
 
 pub mod baseline;
 pub mod bound;
+pub mod clock;
 pub mod config;
 pub mod energy;
 pub mod engine;
@@ -41,6 +42,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use bound::{minimum_average_power, theoretical_bound};
+pub use clock::{ClockOracle, ClockPlan, TickObservation, TickOutcome};
 pub use config::{ArrivalModel, MissPolicy, SimConfig, SwitchOverhead};
 pub use energy::EnergyMeter;
 pub use engine::{simulate, simulate_with};

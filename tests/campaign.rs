@@ -23,7 +23,8 @@ fn toggle_off(plan: &ChaosPlan, dim: usize) -> ChaosPlan {
         2 => p.kills.rate = 0.0,
         3 => p.mode_churn.rate = 0.0,
         4 => p.flood.rate = 0.0,
-        _ => unreachable!("five dimensions"),
+        5 => p.clock.rate = 0.0,
+        _ => unreachable!("six dimensions"),
     }
     p
 }
@@ -43,7 +44,7 @@ fn toggling_one_dimension_leaves_the_others_byte_identical() {
         "the smoke plan must exercise every scheduled dimension for the toggle to mean anything"
     );
 
-    for dim in 0..5 {
+    for dim in 0..6 {
         let toggled = materialize(&toggle_off(&plan, dim));
 
         // Workload-side streams never move: base demand and generator
@@ -73,6 +74,10 @@ fn toggling_one_dimension_leaves_the_others_byte_identical() {
         assert_eq!(
             toggled.regulator_seed, base.regulator_seed,
             "dim {dim}: regulator failure-plan seed moved"
+        );
+        assert_eq!(
+            toggled.clock_seed, base.clock_seed,
+            "dim {dim}: clock fault-plan seed moved"
         );
 
         // Scheduled dimensions: the toggled one empties, the others are

@@ -312,6 +312,86 @@ fn compound_degraded_state_survives_a_crash() {
     assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
 }
 
+/// A healthy kernel writes no `timebase` stanza (old snapshots stay
+/// byte-identical), while a kernel that observed clock faults carries
+/// its time-base state — drift estimate, clamp counters, gap and
+/// watchdog flags — bit-exactly across a kill/restore. The driver
+/// itself is live hardware: the supervisor re-attaches the plan like it
+/// re-attaches the regulator, and the revived run finishes with a
+/// clean audit.
+#[test]
+fn time_base_state_survives_a_crash() {
+    use rtdvs::sim::ClockPlan;
+
+    // Zero-state: no clock plan ever attached, no stanza written.
+    let (mut plain, _) = build(PolicyKind::CcEdf, 0xC10C_0000);
+    plain.run_until(ms(100.0));
+    let clean = plain.checkpoint().expect("checkpoint");
+    assert!(
+        !clean.as_text().contains("\ntimebase "),
+        "a default time base must serialize exactly as before the stanza existed"
+    );
+
+    // The victim: every clock-fault dimension active until the time base
+    // has something to remember.
+    let plan = ClockPlan::new(0xBAD_C10C)
+        .with_drift(0.4, 400.0)
+        .with_tick_loss(0.3)
+        .with_coalescing(0.2, 4)
+        .with_backward_jumps(0.2, 2.0);
+    let (mut victim, _) = build(PolicyKind::CcEdf, 0x5eed);
+    victim.set_clock_plan(plan);
+    victim.run_until(ms(300.0));
+    let at_kill = victim.clock_stats();
+    assert!(
+        at_kill.drift_ppm > 0.0 && at_kill.clamped_jumps > 0,
+        "the faulty plan must leave observable time-base state: {at_kill:?}"
+    );
+    let snapshot = victim.checkpoint().expect("time-base state serializes");
+    let text = snapshot.as_text().to_owned();
+    assert!(
+        text.contains("\ntimebase "),
+        "non-default state writes a stanza"
+    );
+    let reparsed = Snapshot::from_text(&text).expect("snapshot text parses");
+    assert_eq!(
+        reparsed.as_text(),
+        text,
+        "timebase stanza must round-trip bit-exactly"
+    );
+    // The crash: everything after the checkpoint is gone.
+    victim.run_until(ms(330.0));
+    drop(victim);
+
+    let (mut restored, _) = reparsed.restore().expect("snapshot restores");
+    let revived = restored.clock_stats();
+    assert!(
+        !revived.active,
+        "the clock driver is hardware, never serialized"
+    );
+    assert_eq!(
+        revived.ewma_err_ms.to_bits(),
+        at_kill.ewma_err_ms.to_bits(),
+        "drift estimate must restore bit-exactly"
+    );
+    assert_eq!(revived.clamped_jumps, at_kill.clamped_jumps);
+    assert_eq!(revived.last_clamp, at_kill.last_clamp);
+    assert_eq!(revived.max_catch_up, at_kill.max_catch_up);
+    assert_eq!(revived.pending_gap, at_kill.pending_gap);
+    assert_eq!(revived.watchdog, at_kill.watchdog);
+
+    // Revive as the supervisor would: stamp the outage and re-attach the
+    // plan — the drift estimate carries over instead of relearning.
+    restored.mark_restored();
+    restored.set_clock_plan(plan);
+    restored.run_until(ms(HORIZON_MS));
+    let findings: Vec<_> = audit_kernel_log(restored.log())
+        .into_iter()
+        .filter(|v| v.rule != Rule::DeadlineMiss)
+        .collect();
+    assert!(findings.is_empty(), "stitched trace findings: {findings:?}");
+}
+
 /// A crash after a committed mode change restores the post-transaction
 /// world: the bumped epoch, the re-parameterized task, and a clean finish.
 #[test]

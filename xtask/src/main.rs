@@ -31,6 +31,12 @@
 //!   ever policy-blamed and that the ideal regulator is bit-exact against
 //!   no regulator at all, and diffs the result against the committed
 //!   `BENCH_regulator.json`.
+//! * `cargo run -p xtask -- clock` — the time-base hardening gate:
+//!   delegates to `figures clock`, which re-runs the clock-fault soak
+//!   grid (oscillator drift, lost and coalesced ticks, bounded backward
+//!   RTC jumps), asserts no miss is ever policy-blamed and that the
+//!   inactive clock plan is bit-exact against no plan at all, and diffs
+//!   the result against the committed `BENCH_clock.json`.
 //! * `cargo run -p xtask -- throughput` — the scheduler hot-path gate:
 //!   delegates to `figures throughput`, which pins the Table 2 traces
 //!   byte-identically against the frozen pre-refactor engine, re-measures
@@ -110,6 +116,14 @@
 //!   tenant's per-period budget may change; writing it anywhere else
 //!   hands a tenant CPU time its quota never reserved and silently
 //!   breaks temporal isolation.
+//! - `time-base-mutation` — raw kernel-time writes (`.now = …`,
+//!   `.now += …`) or raw tick arithmetic (`tick_of(`) in `crates/kernel`
+//!   non-test code outside `timebase.rs`. The time-base module owns the
+//!   only clock-advance path: it applies the monotonicity clamp, feeds
+//!   the EWMA drift estimator, runs the stalled-tick watchdog, and logs
+//!   `ClockJumpClamped`/`ClockTickGap`. A raw write anywhere else can
+//!   move kernel time backwards (breaking the audit's monotonicity
+//!   rule) or skip the drift accounting that sizes the slack margins.
 //! - `seed-discipline` — `SplitMix64::seed_from_u64(<literal>)` in
 //!   non-test code. Every production stream must derive from a
 //!   caller-supplied root seed (`cfg.seed`, `plan.seed`, a saved
@@ -149,6 +163,7 @@ fn main() -> ExitCode {
         Some("chaos") => figures_gate("chaos", &args[1..]),
         Some("modes") => figures_gate("modes", &args[1..]),
         Some("regulator") => figures_gate("regulator", &args[1..]),
+        Some("clock") => figures_gate("clock", &args[1..]),
         Some("throughput") => figures_gate("throughput", &args[1..]),
         Some("tenants") => figures_gate("tenants", &args[1..]),
         Some("campaign") => figures_gate("campaign", &args[1..]),
@@ -156,7 +171,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint|analyze|ci|bench-check|chaos|modes|regulator|throughput|tenants|\
+                 <lint|analyze|ci|bench-check|chaos|modes|regulator|clock|throughput|tenants|\
                  campaign|repro>"
             );
             ExitCode::from(2)
@@ -175,7 +190,7 @@ struct Stage {
 /// The full local gate, in dependency order. `lint` and `analyze` are
 /// the in-process passes (empty argv); everything else shells out to
 /// cargo so the stages are exactly what a contributor would type.
-const STAGES: [Stage; 15] = [
+const STAGES: [Stage; 16] = [
     Stage {
         name: "fmt",
         args: &["fmt", "--all", "--check"],
@@ -270,6 +285,20 @@ const STAGES: [Stage; 15] = [
             "figures",
             "--",
             "regulator",
+        ],
+    },
+    Stage {
+        name: "clock",
+        args: &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "rtdvs-bench",
+            "--bin",
+            "figures",
+            "--",
+            "clock",
         ],
     },
     Stage {
@@ -772,6 +801,10 @@ fn scan_file(rel: &str, source: &str, sanitized: &[String], findings: &mut Vec<F
             }
         }
 
+        if in_kernel && !rel.ends_with("/timebase.rs") {
+            check_time_base_mutation(rel, idx, line, findings);
+        }
+
         if in_kernel && !rel.ends_with("/tenants.rs") {
             if let Some(pos) = line.find("budget_remaining") {
                 let rest = line[pos + "budget_remaining".len()..].trim_start();
@@ -825,6 +858,54 @@ fn scan_file(rel: &str, source: &str, sanitized: &[String], findings: &mut Vec<F
         if line.contains("pub fn") && !line.contains("fn main") {
             check_must_use(rel, &lines, idx, findings);
         }
+    }
+}
+
+/// Flags raw kernel-time writes or raw tick arithmetic outside the
+/// time-base module: writes to a `.now` field (`=`, `+=`, `-=`) bypass
+/// the monotonicity clamp and the drift estimator, and `tick_of(` calls
+/// outside `timebase.rs` duplicate the tick quantization the time base
+/// owns. Reads (`let now = self.now;`, `x.now == y`) are fine.
+fn check_time_base_mutation(rel: &str, idx: usize, line: &str, findings: &mut Vec<Finding>) {
+    const FIELD: &str = ".now";
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(FIELD) {
+        let after = from + pos + FIELD.len();
+        from = after;
+        // `.now_tick` and friends are different fields.
+        if line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let rest = line[after..].trim_start();
+        if rest.starts_with("+=")
+            || rest.starts_with("-=")
+            || (rest.starts_with('=') && !rest.starts_with("=="))
+        {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: idx + 1,
+                rule: "time-base-mutation",
+                msg: "direct write to the kernel clock outside timebase.rs; only the \
+                      time-base module may advance time — it applies the monotonicity \
+                      clamp, the EWMA drift estimator, and the stalled-tick watchdog"
+                    .to_owned(),
+            });
+        }
+    }
+    if line.contains("tick_of(") {
+        findings.push(Finding {
+            path: rel.to_owned(),
+            line: idx + 1,
+            rule: "time-base-mutation",
+            msg: "raw tick arithmetic (`tick_of(`) outside timebase.rs; the time-base \
+                  module owns tick quantization — go through its accessors so gap \
+                  recovery and catch-up stay consistent"
+                .to_owned(),
+        });
     }
 }
 
@@ -1090,6 +1171,47 @@ mod tests {
         assert!(
             findings.iter().all(|f| f.rule != "tenant-budget-mutation"),
             "{findings:?}"
+        );
+    }
+
+    /// A kernel-clock write outside the time-base module is flagged;
+    /// reads, comparisons, and different `.now_*` fields are not.
+    #[test]
+    fn kernel_clock_writes_outside_timebase_rs_are_flagged() {
+        let src = "fn f(k: &mut Kernel, t: Time) {\n    k.now = t;\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "time-base-mutation");
+        assert_eq!(findings[0].line, 2);
+
+        let reads = "fn f(k: &Kernel) -> bool {\n    let now = k.now;\n    k.now == now\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", reads);
+        assert!(
+            findings.iter().all(|f| f.rule != "time-base-mutation"),
+            "read flagged: {findings:?}"
+        );
+
+        let other_field = "fn f(w: &mut Wheel, t: u64) {\n    w.now_tick = t;\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", other_field);
+        assert!(
+            findings.iter().all(|f| f.rule != "time-base-mutation"),
+            ".now_tick flagged: {findings:?}"
+        );
+    }
+
+    /// Raw tick arithmetic outside timebase.rs is flagged; timebase.rs
+    /// itself is the one module allowed to quantize time into ticks.
+    #[test]
+    fn raw_tick_arithmetic_outside_timebase_rs_is_flagged() {
+        let src = "fn f(t: Time) -> u64 {\n    tick_of(t)\n}\n";
+        let findings = scan_source("crates/kernel/src/kernel.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "time-base-mutation");
+
+        let findings = scan_source("crates/kernel/src/timebase.rs", src);
+        assert!(
+            findings.iter().all(|f| f.rule != "time-base-mutation"),
+            "timebase.rs flagged: {findings:?}"
         );
     }
 
